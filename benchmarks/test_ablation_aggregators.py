@@ -1,0 +1,60 @@
+"""Ablation — collective-buffering aggregator count (``cb_nodes``).
+
+Two-phase I/O trades exchange traffic against filesystem concurrency:
+too few aggregators serialise the I/O phase, too many fragment the
+file domains and fight for the server.  The ROMIO default (one per
+node) should sit at or near the sweet spot.
+"""
+
+from repro.simengine import Environment
+from repro.clusters import build_aohyper
+from repro.storage.base import MiB
+from repro.workloads.ior import run_ior
+from conftest import show
+
+
+def sweep():
+    out = {}
+    for cb_nodes in (1, 2, 4, 8):
+        system = build_aohyper(Environment(), "raid5")
+        # route the hint through the world the IOR program builds
+        import repro.workloads.ior as ior_mod
+
+        res = _run_with_hint(system, cb_nodes)
+        out[cb_nodes] = res
+    return out
+
+
+def _run_with_hint(system, cb_nodes):
+    from repro.workloads.ior import IORResult, IORRow
+
+    env = system.env
+    world = system.world(8, io_hints={"collective": True, "cb_nodes": cb_nodes})
+    marks = {}
+
+    def program(mpi):
+        f = yield mpi.file_open("/nfs/abl.dat", "w")
+        yield mpi.barrier()
+        t0 = mpi.now
+        for seg in range(4):
+            base = seg * 16 * MiB * mpi.size + mpi.rank * 16 * MiB
+            yield f.write_at_all(base, 256 * 1024, count=64)
+        yield f.close()
+        yield mpi.barrier()
+        if mpi.rank == 0:
+            marks["dt"] = mpi.now - t0
+
+    env.run(world.run_program(program))
+    total = 4 * 16 * MiB * 8
+    return total / marks["dt"]
+
+
+def test_aggregator_sweep(benchmark):
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        "Ablation — aggregator count (8 procs, 8 nodes, RAID5)",
+        "\n".join(f"cb_nodes={k}: {v / MiB:8.1f} MB/s" for k, v in rates.items()),
+    )
+    # more aggregators must not catastrophically hurt, and >1 helps
+    assert rates[4] > 0.6 * max(rates.values())
+    assert max(rates.values()) < 150 * MiB  # still wire-bound

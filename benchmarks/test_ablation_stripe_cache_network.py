@@ -1,0 +1,90 @@
+"""Ablations — RAID 5 stripe size, buffer/cache placement, and shared
+vs dedicated data network (three of the paper's configurable
+factors, DESIGN.md §6)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.simengine import Environment
+from repro.hardware import DiskSpec, RAIDConfig, RAIDLevel
+from repro.clusters import aohyper_config, build_system
+from repro.storage.base import IORequest, KiB, MiB
+from repro.workloads.iozone import run_iozone
+from repro.workloads.btio import BTIOConfig, run_btio
+from conftest import show
+
+
+def test_stripe_size_sweep(benchmark):
+    """Small-write RMW penalty shrinks as writes cover whole stripes."""
+
+    def sweep():
+        out = {}
+        for stripe in (64 * KiB, 256 * KiB, 1 * MiB):
+            cfg = aohyper_config("raid5")
+            dev = replace(cfg.server_device, stripe_bytes=stripe)
+            cfg = replace(cfg, server_device=dev, local_device=dev)
+            system = build_system(Environment(), cfg)
+            res = run_iozone(system, "n0", "/local/s.tmp", file_bytes=512 * MiB,
+                             block_sizes=(1 * MiB,), include_strided=False,
+                             include_random=False)
+            out[stripe] = res.rate("write", 1 * MiB)
+        return out
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show("Ablation — RAID5 stripe size (1 MiB sequential writes)",
+         "\n".join(f"stripe={k // 1024:5d}K: {v / MiB:8.1f} MB/s" for k, v in rates.items()))
+    assert all(v > 0 for v in rates.values())
+
+
+def test_cache_placement(benchmark):
+    """Disabling the client- or server-side cache (a paper factor:
+    'state and placement of buffer/cache') hurts NFS streaming."""
+
+    def sweep():
+        out = {}
+        for variant, kw in (
+            ("both-on", {}),
+            ("no-client", {"client_cache_enabled": False}),
+            ("no-server", {"server_cache_enabled": False}),
+        ):
+            cfg = replace(aohyper_config("raid5"), **kw)
+            system = build_system(Environment(), cfg)
+            mount = system.nfs_mounts["n0"]
+            env = system.env
+            inode = env.run(mount.create("/x"))
+            t0 = env.now
+            env.run(mount.submit(inode, IORequest("write", 0, 1 * MiB, count=512)))
+            env.run(mount.fsync(inode))
+            write = 512 * MiB / (env.now - t0)
+            t0 = env.now
+            env.run(mount.submit(inode, IORequest("read", 0, 1 * MiB, count=512)))
+            read = 512 * MiB / (env.now - t0)
+            out[variant] = (write, read)
+        return out
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show("Ablation — cache placement (NFS, 512 MiB stream)",
+         "\n".join(f"{k:<10}: write {w / MiB:7.1f}  read {r / MiB:7.1f} MB/s"
+                   for k, (w, r) in rates.items()))
+    # client cache serves the re-read; without it the wire caps reads
+    assert rates["both-on"][1] > rates["no-client"][1]
+
+
+def test_shared_vs_dedicated_network(benchmark):
+    """One network for MPI + file traffic vs the paper's two: BT-IO full
+    (communication-heavy) suffers when the fabrics are shared."""
+
+    def sweep():
+        out = {}
+        for dedicated in (True, False):
+            cfg = replace(aohyper_config("raid5"), separate_data_network=dedicated)
+            system = build_system(Environment(), cfg)
+            res = run_btio(system, BTIOConfig(clazz="A", nprocs=16, subtype="full"))
+            out[dedicated] = res.execution_time
+        return out
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show("Ablation — dedicated vs shared data network (BT-IO class A/full)",
+         "\n".join(f"{'dedicated' if k else 'shared':<10}: {v:8.1f} s" for k, v in times.items()))
+    assert times[True] <= times[False] * 1.02

@@ -1,0 +1,43 @@
+"""Extension — BT-IO full-subtype process-count scaling on Aohyper.
+
+The paper compares 16 vs 64 processes on cluster A; this sweep makes
+the trend explicit on Aohyper: aggregate I/O throughput plateaus at
+the wire (more ranks cannot push more through one NFS server), while
+compute time keeps shrinking, so the I/O *fraction* of the run grows
+with scale — the paper's "with a greater number of processes, the I/O
+system affects the run time".
+"""
+
+from repro.simengine import Environment
+from repro.clusters import build_aohyper
+from repro.storage.base import MiB
+from repro.workloads.btio import BTIOConfig, run_btio
+from conftest import show
+
+
+def sweep():
+    out = {}
+    for nprocs in (4, 16, 64):
+        system = build_aohyper(Environment(), "raid5")
+        res = run_btio(system, BTIOConfig(clazz="A", nprocs=nprocs, subtype="full"))
+        out[nprocs] = res
+    return out
+
+
+def test_scaling(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'procs':>6}{'exec (s)':>10}{'I/O (s)':>10}{'I/O %':>8}{'agg MB/s':>10}"]
+    for n, r in results.items():
+        lines.append(
+            f"{n:>6}{r.execution_time:>10.1f}{r.io_time:>10.1f}"
+            f"{r.io_fraction * 100:>7.1f}%{r.throughput_Bps / MiB:>10.1f}"
+        )
+    show("Extension — BT-IO full scaling (class A, Aohyper RAID5)", "\n".join(lines))
+
+    # compute shrinks with more ranks...
+    assert results[64].execution_time < results[4].execution_time
+    # ...but aggregate I/O stays wire-bound (within 40% across scales)
+    rates = [r.throughput_Bps for r in results.values()]
+    assert max(rates) / min(rates) < 1.6
+    # so the I/O share of the run grows with the process count
+    assert results[64].io_fraction > results[16].io_fraction > results[4].io_fraction

@@ -1,0 +1,71 @@
+"""Fig. 5 — local and network filesystem characterization of cluster
+Aohyper (IOzone, block sizes 32 KiB–16 MiB, file = 2 x RAM) for the
+JBOD, RAID 1 and RAID 5 configurations.
+
+Shape to preserve: the local filesystem outruns NFS at large blocks;
+NFS is capped by the Gigabit wire; RAID 5 gives the highest local
+rates (striping), RAID 1 boosts reads over JBOD.
+"""
+
+import pytest
+
+from repro.simengine import Environment
+from repro.clusters import build_aohyper
+from repro.storage.base import MiB
+from repro.workloads import run_iozone
+from conftest import PAPER_BLOCKS, show
+
+
+def characterize_device(device: str):
+    rows = {}
+    for where, path in (("local", "/local/ioz.tmp"), ("nfs", "/nfs/ioz.tmp")):
+        system = build_aohyper(Environment(), device)
+        res = run_iozone(system, "n0", path, block_sizes=PAPER_BLOCKS,
+                         include_strided=False, include_random=False)
+        rows[where] = res
+    return rows
+
+
+@pytest.mark.parametrize("device", ["jbod", "raid1", "raid5"])
+def test_fig05(benchmark, device):
+    rows = benchmark.pedantic(characterize_device, args=(device,), rounds=1, iterations=1)
+    lines = [f"{'block':>8} {'lfs write':>10} {'lfs read':>10} {'nfs write':>10} {'nfs read':>10}  (MB/s)"]
+    for b in PAPER_BLOCKS:
+        lines.append(
+            f"{b // 1024:>7}K"
+            f" {rows['local'].rate('write', b) / MiB:>10.1f}"
+            f" {rows['local'].rate('read', b) / MiB:>10.1f}"
+            f" {rows['nfs'].rate('write', b) / MiB:>10.1f}"
+            f" {rows['nfs'].rate('read', b) / MiB:>10.1f}"
+        )
+    show(f"Fig. 5 ({device}) — Aohyper filesystem characterization", "\n".join(lines))
+
+    local, nfs = rows["local"], rows["nfs"]
+    big = PAPER_BLOCKS[-1]
+    # NFS is wire-capped (~112 MiB/s on GbE)
+    assert nfs.rate("write", big) < 130 * MiB
+    assert nfs.rate("read", big) < 130 * MiB
+    if device == "raid5":
+        # striping pushes local rates beyond a single spindle / the wire
+        assert local.rate("read", big) > 2 * nfs.rate("read", big)
+    if device == "jbod":
+        # single-disk local ~ GbE: same order of magnitude
+        assert local.rate("read", big) == pytest.approx(nfs.rate("read", big), rel=0.8)
+
+
+def test_fig05_raid_ordering(benchmark):
+    """RAID5 local reads > RAID1 > JBOD (paper Fig. 5 panel ordering)."""
+
+    def reads():
+        out = {}
+        for device in ("jbod", "raid1", "raid5"):
+            system = build_aohyper(Environment(), device)
+            res = run_iozone(system, "n0", "/local/o.tmp", block_sizes=(1 * MiB,),
+                             include_strided=False, include_random=False)
+            out[device] = res.rate("read", 1 * MiB)
+        return out
+
+    rates = benchmark.pedantic(reads, rounds=1, iterations=1)
+    show("Fig. 5 — local read rate ordering",
+         "\n".join(f"{d:6s} {r / MiB:8.1f} MB/s" for d, r in rates.items()))
+    assert rates["raid5"] > rates["raid1"] > rates["jbod"]

@@ -1,0 +1,39 @@
+"""Fig. 6 — I/O library (MPI-IO) characterization of cluster Aohyper
+with IOR: 8 processes, 256 KiB transfers, block sizes 1 MiB–256 MiB
+(the paper sweeps to 1 GiB; the plateau is reached well before),
+32 GB file on the RAID configurations and 12 GB on JBOD.
+
+Shape: the library level sits at or just below the NFS level — the
+wire, not the array, caps collective throughput.
+"""
+
+import pytest
+
+from repro.simengine import Environment
+from repro.clusters import build_aohyper
+from repro.storage.base import GiB, MiB
+from repro.workloads import run_ior
+from conftest import show
+
+BLOCKS = (1 * MiB, 16 * MiB, 64 * MiB, 256 * MiB)
+
+
+@pytest.mark.parametrize("device", ["jbod", "raid1", "raid5"])
+def test_fig06(benchmark, device):
+    file_bytes = 12 * GiB if device == "jbod" else 32 * GiB
+
+    def run():
+        system = build_aohyper(Environment(), device)
+        return run_ior(system, 8, block_sizes=BLOCKS, transfer_bytes=256 * 1024,
+                       file_bytes=file_bytes)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'block':>8} {'write':>10} {'read':>10}  (MB/s aggregate)"]
+    for b in BLOCKS:
+        lines.append(f"{b // MiB:>7}M {res.rate('write', b) / MiB:>10.1f} {res.rate('read', b) / MiB:>10.1f}")
+    show(f"Fig. 6 ({device}) — Aohyper I/O library characterization", "\n".join(lines))
+
+    for b in BLOCKS:
+        # the library level cannot beat the wire by much (cache bursts aside)
+        assert res.rate("write", b) < 140 * MiB
+        assert res.rate("write", b) > 20 * MiB

@@ -1,0 +1,41 @@
+"""Fig. 8 — NAS BT-IO trace timelines (the Jumpshot/MPE view).
+
+Shape: repetitive behaviour — 40 write phases during the time loop,
+one read phase after it; the same structure in both subtypes (the
+simple subtype just issues thousands of tiny operations per phase).
+"""
+
+from repro.simengine import Environment
+from repro.clusters import build_aohyper
+from repro.tracing import detect_phases, render_timeline
+from repro.workloads.btio import BTIOConfig, run_btio
+from conftest import show
+
+
+def run_trace(subtype):
+    system = build_aohyper(Environment(), "raid5")
+    res = run_btio(system, BTIOConfig(clazz="C", nprocs=16, subtype=subtype))
+    return res
+
+
+def test_fig08_full(benchmark):
+    res = benchmark.pedantic(run_trace, args=("full",), rounds=1, iterations=1)
+    art = render_timeline(res.tracer.events, width=100, ranks=[0, 1, 2, 3])
+    show("Fig. 8(a) — BT-IO full subtype, 16 processes", art)
+    # writes strictly precede the read phase
+    writes = [e for e in res.tracer.events if e.op == "write"]
+    reads = [e for e in res.tracer.events if e.op == "read"]
+    assert max(w.t_end for w in writes) <= min(r.t_start for r in reads) + 1e-9
+    # 40 write events per rank
+    assert res.tracer.count_ops("write") == 640
+    phases = detect_phases(res.tracer.events)
+    assert {p.op for p in phases} == {"write", "read"}
+
+
+def test_fig08_simple(benchmark):
+    res = benchmark.pedantic(run_trace, args=("simple",), rounds=1, iterations=1)
+    art = render_timeline(res.tracer.events, width=100, ranks=[0, 1])
+    show("Fig. 8(b) — BT-IO simple subtype, 16 processes", art)
+    # paper: each writing phase carries out 6,561 writes per process
+    per_rank_per_phase = res.tracer.count_ops("write") / 16 / 40
+    assert abs(per_rank_per_phase - 6561) < 66  # within 1%

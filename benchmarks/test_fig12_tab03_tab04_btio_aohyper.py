@@ -1,0 +1,75 @@
+"""Fig. 12 + Tables III/IV — NAS BT-IO class C, 16 processes, on the
+three Aohyper configurations: execution time, I/O time and throughput
+(Fig. 12) and the used percentage of the I/O system per level for
+writes (Table III) and reads (Table IV).
+
+Shapes to preserve (paper §III-C2):
+* full is far more efficient than simple; full's performance is
+  similar on the three configurations;
+* full exploits the I/O system's capacity (≳100% at the library
+  level);
+* simple uses <15% of the write capacity and roughly a third of the
+  read capacity at the NFS level.
+"""
+
+from repro.core import format_run_metrics, format_used_matrix
+from conftest import show
+
+
+def test_fig12_run_metrics(benchmark, btio_aohyper_reports):
+    def render():
+        out = {}
+        for subtype, reports in btio_aohyper_reports.items():
+            for cfg, rep in reports.items():
+                out[f"{cfg}-{subtype}"] = rep
+        return format_run_metrics(out)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    show("Fig. 12 — BT-IO class C / 16 procs on Aohyper", text)
+
+    full = btio_aohyper_reports["full"]
+    simple = btio_aohyper_reports["simple"]
+    for cfg in ("jbod", "raid1", "raid5"):
+        assert full[cfg].execution_time_s < simple[cfg].execution_time_s
+        assert full[cfg].throughput_Bps > 2 * simple[cfg].throughput_Bps
+    # full performs similarly across the three configurations (<12% spread)
+    times = [full[c].execution_time_s for c in ("jbod", "raid1", "raid5")]
+    assert (max(times) - min(times)) / min(times) < 0.12
+
+
+def test_tab03_write_used_percentage(benchmark, btio_aohyper_reports):
+    def render():
+        return {
+            subtype: format_used_matrix(reports, "write")
+            for subtype, reports in btio_aohyper_reports.items()
+        }
+
+    texts = benchmark.pedantic(render, rounds=1, iterations=1)
+    for subtype, text in texts.items():
+        show(f"Table III — % of I/O system use, WRITES ({subtype})", text)
+
+    for cfg in ("jbod", "raid1", "raid5"):
+        full_pct = btio_aohyper_reports["full"][cfg].used.cell("iolib", "write")
+        simple_pct = btio_aohyper_reports["simple"][cfg].used.cell("nfs", "write")
+        assert full_pct > 75.0  # capacity exploited
+        assert simple_pct < 15.0  # paper: "less than 15% on writing"
+
+
+def test_tab04_read_used_percentage(benchmark, btio_aohyper_reports):
+    def render():
+        return {
+            subtype: format_used_matrix(reports, "read")
+            for subtype, reports in btio_aohyper_reports.items()
+        }
+
+    texts = benchmark.pedantic(render, rounds=1, iterations=1)
+    for subtype, text in texts.items():
+        show(f"Table IV — % of I/O system use, READS ({subtype})", text)
+
+    jbod_simple = btio_aohyper_reports["simple"]["jbod"].used.cell("nfs", "read")
+    assert jbod_simple < 60.0  # paper: "only about 30%"
+    assert jbod_simple > 5.0
+    # reads fare better than writes for the simple subtype
+    for cfg in ("jbod", "raid1", "raid5"):
+        used = btio_aohyper_reports["simple"][cfg].used
+        assert used.cell("nfs", "read") > used.cell("nfs", "write")

@@ -1,0 +1,57 @@
+"""Figs. 13 and 14 — system characterization of cluster A: IOzone on
+the local and network filesystems (Fig. 13) and IOR on the I/O
+library (Fig. 14, 40 GB file, 256 KiB transfers).
+
+Shapes: local JBOD ~ one spindle; NFS capped by the wire but backed
+by the RAID 5 front-end; library level at or below NFS.
+"""
+
+import pytest
+
+from repro.simengine import Environment
+from repro.clusters import build_cluster_a
+from repro.storage.base import GiB, MiB
+from repro.workloads import run_ior, run_iozone
+from conftest import CLUSTER_A_BLOCKS, show
+
+
+def test_fig13_iozone(benchmark):
+    def run():
+        out = {}
+        for where, path in (("local", "/local/z.tmp"), ("nfs", "/nfs/z.tmp")):
+            system = build_cluster_a(Environment())
+            out[where] = run_iozone(system, "n0", path, block_sizes=CLUSTER_A_BLOCKS,
+                                    include_strided=False, include_random=False)
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'block':>8} {'lfs write':>10} {'lfs read':>10} {'nfs write':>10} {'nfs read':>10}  (MB/s)"]
+    for b in CLUSTER_A_BLOCKS:
+        lines.append(
+            f"{b // 1024:>7}K"
+            f" {rows['local'].rate('write', b) / MiB:>10.1f}"
+            f" {rows['local'].rate('read', b) / MiB:>10.1f}"
+            f" {rows['nfs'].rate('write', b) / MiB:>10.1f}"
+            f" {rows['nfs'].rate('read', b) / MiB:>10.1f}"
+        )
+    show("Fig. 13 — cluster A filesystem characterization", "\n".join(lines))
+    big = CLUSTER_A_BLOCKS[-1]
+    assert rows["nfs"].rate("write", big) < 130 * MiB  # wire cap
+    assert rows["local"].rate("read", big) < 150 * MiB  # single local spindle
+
+
+def test_fig14_ior(benchmark):
+    blocks = (1 * MiB, 16 * MiB, 256 * MiB)
+
+    def run():
+        system = build_cluster_a(Environment())
+        return run_ior(system, 8, block_sizes=blocks, transfer_bytes=256 * 1024,
+                       file_bytes=40 * GiB)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'block':>8} {'write':>10} {'read':>10}  (MB/s aggregate)"]
+    for b in blocks:
+        lines.append(f"{b // MiB:>7}M {res.rate('write', b) / MiB:>10.1f} {res.rate('read', b) / MiB:>10.1f}")
+    show("Fig. 14 — cluster A I/O library characterization (IOR)", "\n".join(lines))
+    for b in blocks:
+        assert 20 * MiB < res.rate("write", b) < 140 * MiB

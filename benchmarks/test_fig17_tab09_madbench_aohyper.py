@@ -1,0 +1,74 @@
+"""Fig. 17 + Table IX — MADbench2 on cluster Aohyper: per-function
+times and transfer rates (Fig. 17) and the used percentage of the
+local-filesystem level (Table IX).
+
+Shapes (paper §IV-F):
+* MADbench2's large blocks surpass the I/O library and network
+  filesystem characterizations, so the local-FS table is the
+  informative one;
+* on JBOD the local-FS capacity is essentially saturated; RAID 1 sits
+  near half; RAID 5 near a third (its striped capacity is far above
+  what the wire lets the application reach);
+* RAID 5 is the most suitable configuration (highest rates, lowest
+  I/O time).
+"""
+
+from repro.storage.base import MiB
+from conftest import show
+
+COLUMNS = ("S_w", "W_w", "W_r", "C_r")
+
+
+def test_fig17_rates_and_times(benchmark, madbench_aohyper_reports):
+    """Per-function achieved rates; regenerated from the used tables'
+    profiles (the evaluation runs live in the session fixture)."""
+
+    def render():
+        lines = [f"{'config':<16}" + "".join(f"{c:>10}" for c in ("exec(s)", "io(s)"))]
+        for filetype, reports in madbench_aohyper_reports.items():
+            for cfg, rep in reports.items():
+                lines.append(
+                    f"{cfg}-{filetype:<8}{rep.execution_time_s:>10.1f}{rep.io_time_s:>10.1f}"
+                )
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    show("Fig. 17 — MADbench2 on Aohyper (16 procs)", text)
+
+    for filetype in ("unique", "shared"):
+        reports = madbench_aohyper_reports[filetype]
+        # RAID 5 is the most suitable configuration: lowest I/O time
+        assert reports["raid5"].io_time_s <= reports["raid1"].io_time_s
+        assert reports["raid5"].io_time_s <= reports["jbod"].io_time_s
+
+
+def test_tab09_local_fs_used(benchmark, madbench_aohyper_reports):
+    def render():
+        out = {}
+        for filetype, reports in madbench_aohyper_reports.items():
+            for cfg, rep in reports.items():
+                out[f"{cfg}-{filetype}"] = (
+                    rep.used.cell("localfs", "write"),
+                    rep.used.cell("localfs", "read"),
+                )
+        return out
+
+    cells = benchmark.pedantic(render, rounds=1, iterations=1)
+    lines = [f"{'config':<18}{'write %':>10}{'read %':>10}"]
+    for name, (w, r) in cells.items():
+        lines.append(f"{name:<18}{w:>10.1f}{r:>10.1f}")
+    show("Table IX — MADbench2 % of use at the local-FS level", "\n".join(lines))
+
+    for filetype in ("unique", "shared"):
+        jbod_w, _ = cells[f"jbod-{filetype}"]
+        raid1_w, _ = cells[f"raid1-{filetype}"]
+        raid5_w, _ = cells[f"raid5-{filetype}"]
+        # paper: JBOD near saturation, RAID5 far below (~30%) because its
+        # striped local capacity dwarfs what the wire lets the app reach.
+        # (The paper's additional JBOD>RAID1 write gap does not reproduce:
+        # a mirrored write is single-spindle speed in a principled model,
+        # so RAID1's characterized ceiling matches JBOD's — see
+        # EXPERIMENTS.md.)
+        assert jbod_w > 60.0
+        assert raid5_w < 60.0
+        assert raid5_w < jbod_w and raid5_w < raid1_w

@@ -1,0 +1,26 @@
+"""Table I — the performance-table data structure and its search
+semantics (Fig. 11), demonstrated on a real characterization."""
+
+from repro.core import format_perf_table
+from repro.storage.base import AccessType, MiB
+from conftest import show
+
+
+def test_tab01(benchmark, aohyper_methodology):
+    def render():
+        return format_perf_table(aohyper_methodology.tables["raid5"]["nfs"])
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    show("Table I — performance table (level: NFS, config: raid5)", text)
+    for column in ("Operation", "Blocksize", "Access", "Mode", "MB/s"):
+        assert column in text
+
+    table = aohyper_methodology.tables["raid5"]["nfs"]
+    # Fig. 11 cases on the real table
+    blocks = sorted({r.block_bytes for r in table.rows if r.op == "write"})
+    below = table.lookup("write", 1, AccessType.GLOBAL)
+    at_min = table.lookup("write", blocks[0], AccessType.GLOBAL)
+    assert below == at_min
+    above = table.lookup("write", blocks[-1] * 100, AccessType.GLOBAL)
+    at_max = table.lookup("write", blocks[-1], AccessType.GLOBAL)
+    assert above == at_max

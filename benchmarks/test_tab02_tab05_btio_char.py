@@ -1,0 +1,50 @@
+"""Tables II and V — NAS BT-IO class C application characterization
+for 16 and 64 processes, full and simple subtypes.
+
+These are the paper's exact numbers (geometry-derived, system
+independent): 640 ops of ~10 MB / 4,199,040 ops of 1600 and 1640
+bytes at 16 processes; 2560 ops of ~2.54 MB / 800- and 840-byte ops
+at 64 processes.
+"""
+
+import pytest
+
+from repro.core import format_characterization
+from repro.storage.base import MiB
+from repro.workloads.btio import BTIOConfig, characterize_btio
+from conftest import show
+
+
+def charactarize_all(nprocs):
+    return {
+        subtype: characterize_btio(BTIOConfig(clazz="C", nprocs=nprocs, subtype=subtype))
+        for subtype in ("full", "simple")
+    }
+
+
+def test_tab02_16_processes(benchmark):
+    chars = benchmark.pedantic(charactarize_all, args=(16,), rounds=1, iterations=1)
+    for subtype, char in chars.items():
+        show(f"Table II — BT-IO class C, 16 procs, {subtype}",
+             format_characterization(char, f"subtype={subtype}"))
+    full, simple = chars["full"], chars["simple"]
+    assert full["numio_write"] == 640  # paper: 640
+    assert full["numio_read"] == 640
+    for b in full["block_bytes_write"]:
+        assert b == pytest.approx(10 * MiB, rel=0.05)  # paper: 10 MB
+    assert simple["numio_write"] == 4_199_040  # paper: 2,073,600 + 2,125,440
+    assert simple["block_bytes_write"] == [1600, 1640]  # paper: 1.56KB / 1.6KB
+    assert simple["ops_by_block"][1600] == pytest.approx(2_073_600, rel=0.02)
+    assert simple["ops_by_block"][1640] == pytest.approx(2_125_440, rel=0.02)
+
+
+def test_tab05_64_processes(benchmark):
+    chars = benchmark.pedantic(charactarize_all, args=(64,), rounds=1, iterations=1)
+    for subtype, char in chars.items():
+        show(f"Table V — BT-IO class C, 64 procs, {subtype}",
+             format_characterization(char, f"subtype={subtype}"))
+    full, simple = chars["full"], chars["simple"]
+    assert full["numio_write"] == 2560  # 40 I/O steps x 64 procs
+    for b in full["block_bytes_write"]:
+        assert b == pytest.approx(2.54 * MiB, rel=0.05)  # paper: 2.54 MB
+    assert simple["block_bytes_write"] == [800, 840]  # paper: 800 / 840 bytes

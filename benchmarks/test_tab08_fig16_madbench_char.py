@@ -1,0 +1,63 @@
+"""Table VIII + Fig. 16 — MADbench2 characterization (16/64 procs,
+UNIQUE/SHARED) and its trace timeline.
+
+Table VIII's exact values: 16 ops per process per file role
+(8 writes in S, 8 writes + 8 reads in W, 8 reads in C), 162 MB blocks
+at 16 processes, 40.5 MB at 64.  Fig. 16: the three I/O phases.
+"""
+
+import pytest
+
+from repro.core import format_characterization
+from repro.simengine import Environment
+from repro.clusters import build_aohyper
+from repro.tracing import render_timeline
+from repro.workloads.madbench import MadBenchConfig, characterize_madbench, run_madbench
+from conftest import show
+
+
+def test_tab08(benchmark):
+    def run():
+        out = {}
+        for nprocs in (16, 64):
+            for filetype in ("unique", "shared"):
+                cfg = MadBenchConfig(kpix=18, nbin=8, nprocs=nprocs, filetype=filetype)
+                out[(nprocs, filetype)] = (cfg, characterize_madbench(cfg))
+        return out
+
+    chars = benchmark.pedantic(run, rounds=1, iterations=1)
+    for (nprocs, filetype), (cfg, char) in chars.items():
+        show(f"Table VIII — MADbench2, {nprocs} procs, {filetype.upper()}",
+             format_characterization(char, f"{nprocs}p {filetype}"))
+
+    cfg16, char16u = chars[(16, "unique")]
+    assert cfg16.block_bytes == pytest.approx(162e6, rel=0.01)  # paper: 162 MB
+    cfg64, _ = chars[(64, "unique")]
+    assert cfg64.block_bytes == pytest.approx(40.5e6, rel=0.01)  # paper: 40.5 MB
+    assert char16u["numio_read"] == 16  # 16 x file (UNIQUE)
+    _, char16s = chars[(16, "shared")]
+    assert char16s["numio_read"] == 256  # paper: 256 on the shared file
+    _, char64s = chars[(64, "shared")]
+    assert char64s["numio_read"] == 1024  # paper: 1024
+
+
+def test_fig16_trace(benchmark):
+    def run():
+        system = build_aohyper(Environment(), "raid5")
+        return run_madbench(
+            system, MadBenchConfig(nprocs=16, filetype="shared", busywork_s=0.5)
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    art = render_timeline(res.tracer.events, width=100, ranks=[0, 1, 2, 3])
+    show("Fig. 16 — MADbench2 trace, 16 processes (SHARED)", art)
+
+    # three I/O phases: S (writes), W (writes+reads), C (reads)
+    writes = res.tracer.count_ops("write")
+    reads = res.tracer.count_ops("read")
+    assert writes == 2 * 8 * 16
+    assert reads == 2 * 8 * 16
+    # phase order: first event is a write (S), last is a read (C)
+    events = sorted(res.tracer.events, key=lambda e: e.t_start)
+    assert events[0].op == "write"
+    assert events[-1].op == "read"

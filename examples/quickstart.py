@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart — the whole methodology in ~40 lines.
+
+Builds the paper's cluster Aohyper in its three I/O configurations,
+characterizes every level of the I/O path (phase 1), runs NAS BT-IO
+class A with collective I/O on each configuration (phase 3), and
+prints the used-percentage tables plus a configuration
+recommendation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Methodology, aohyper_config, AOHYPER_CONFIGS
+from repro.core import format_perf_table, format_run_metrics, format_used_matrix
+from repro.storage.base import GiB, KiB, MiB
+from repro.workloads.apps import BTIOApplication
+from repro.workloads.btio import BTIOConfig
+
+
+def main() -> None:
+    # ---- phase 1: characterization -----------------------------------
+    # (a reduced block sweep keeps the demo fast; benchmarks/ runs the
+    # paper's full 32 KiB..16 MiB sweep)
+    methodology = Methodology(
+        {name: aohyper_config(name) for name in AOHYPER_CONFIGS},
+        block_sizes=(64 * KiB, 1 * MiB, 16 * MiB),
+        ior_nprocs=8,
+        ior_file_bytes=2 * GiB,
+    )
+    print("characterizing jbod / raid1 / raid5 at 3 I/O path levels ...")
+    methodology.characterize()
+    print(format_perf_table(methodology.tables["raid5"]["nfs"]))
+
+    # ---- phase 2: configuration analysis ------------------------------
+    for name, factors in methodology.factors().items():
+        print(f"\n{name}: device={factors.server_organization}"
+              f" x{factors.n_server_devices}, redundancy={factors.data_redundancy}")
+
+    # ---- phase 3: evaluation --------------------------------------------
+    app = BTIOApplication(BTIOConfig(clazz="A", nprocs=16, subtype="full"))
+    print(f"\nevaluating {app.name} on every configuration ...")
+    reports = methodology.evaluate(app)
+    print(format_run_metrics(reports))
+    print(format_used_matrix(reports, "write"))
+    print(format_used_matrix(reports, "read"))
+
+    # ---- configuration selection ------------------------------------------
+    profile = reports["raid5"].profile
+    print("\nrecommended configurations (by expected rate for this app):")
+    for score in methodology.recommend(profile):
+        print(f"  {score.name:8s} {score.expected_rate_Bps / MiB:8.1f} MB/s"
+              f"  redundancy={score.redundancy}")
+    print("\nwith availability required:")
+    for score in methodology.recommend(profile, require_redundancy=True):
+        print(f"  {score.name:8s} {score.expected_rate_Bps / MiB:8.1f} MB/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — Methodology for Performance Evaluation of the I/O System on
+Computer Clusters (Méndez, Rexachs, Luque — CLUSTER 2011), reproduced
+over a fully simulated cluster substrate.
+
+Quick start::
+
+    from repro import Methodology, aohyper_config, AOHYPER_CONFIGS
+    from repro.workloads.apps import BTIOApplication
+    from repro.workloads.btio import BTIOConfig
+
+    m = Methodology({n: aohyper_config(n) for n in AOHYPER_CONFIGS})
+    m.characterize()
+    reports = m.evaluate(BTIOApplication(BTIOConfig(clazz="C", nprocs=16,
+                                                    subtype="full")))
+
+Layers (bottom-up): :mod:`repro.simengine` (DES kernel),
+:mod:`repro.hardware` (disks/RAID/network/nodes), :mod:`repro.storage`
+(page cache, ext4-like FS, NFS, VFS), :mod:`repro.mpi` (simulated MPI
+and MPI-IO), :mod:`repro.tracing` (PAS2P-style tracer),
+:mod:`repro.workloads` (IOzone/IOR/BT-IO/MADbench2),
+:mod:`repro.clusters` (the paper's Aohyper and cluster A), and
+:mod:`repro.core` (the methodology itself).
+"""
+
+from .clusters import (
+    AOHYPER_CONFIGS,
+    aohyper_config,
+    build_aohyper,
+    build_cluster_a,
+    build_system,
+    cluster_a_config,
+    System,
+    SystemConfig,
+)
+from .core import (
+    Application,
+    AppProfile,
+    AppRun,
+    characterize_app,
+    characterize_system,
+    EvaluationReport,
+    generate_used_percentage,
+    Methodology,
+    PerformanceTable,
+)
+from .simengine import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AOHYPER_CONFIGS",
+    "aohyper_config",
+    "build_aohyper",
+    "build_cluster_a",
+    "build_system",
+    "cluster_a_config",
+    "System",
+    "SystemConfig",
+    "Application",
+    "AppProfile",
+    "AppRun",
+    "characterize_app",
+    "characterize_system",
+    "EvaluationReport",
+    "generate_used_percentage",
+    "Methodology",
+    "PerformanceTable",
+    "Environment",
+    "__version__",
+]

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the methodology's phases:
+
+* ``characterize`` — build and print the performance tables of a
+  named cluster configuration (optionally save as CSV).
+* ``evaluate`` — run a workload on one or more configurations and
+  print the run metrics and used-percentage tables.
+* ``predict`` — phase-1-only configuration selection: predict the
+  workload's I/O time on every configuration from the tables alone.
+* ``list`` — show the available cluster configurations and workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .clusters import AOHYPER_CONFIGS, aohyper_config, cluster_a_config
+from .core import (
+    Methodology,
+    format_perf_table,
+    format_run_metrics,
+    format_used_matrix,
+)
+from .core.prediction import rank_predicted
+from .storage.base import GiB, KiB, MiB
+from .workloads.apps import BTIOApplication, MadBenchApplication
+from .workloads.btio import BTIOConfig
+from .workloads.madbench import MadBenchConfig
+
+__all__ = ["main"]
+
+
+def _configs(names: list[str]) -> dict:
+    out = {}
+    for name in names:
+        if name in AOHYPER_CONFIGS:
+            out[name] = aohyper_config(name)
+        elif name in ("cluster-a", "cluster_a"):
+            out["cluster-a"] = cluster_a_config()
+        else:
+            raise SystemExit(f"unknown configuration {name!r}; see `repro list`")
+    return out
+
+
+def _app(args):
+    if args.workload == "btio":
+        return BTIOApplication(
+            BTIOConfig(clazz=args.clazz, nprocs=args.nprocs, subtype=args.subtype)
+        )
+    if args.workload == "madbench":
+        return MadBenchApplication(
+            MadBenchConfig(kpix=args.kpix, nprocs=args.nprocs, filetype=args.filetype)
+        )
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def _methodology(args) -> Methodology:
+    blocks = tuple((32 * KiB) << k for k in range(0, 10, max(1, args.block_step)))
+    return Methodology(
+        _configs(args.configs),
+        block_sizes=blocks,
+        ior_nprocs=8,
+        ior_file_bytes=args.ior_gib * GiB,
+    )
+
+
+def cmd_list(_args) -> int:
+    print("cluster configurations:")
+    for name in AOHYPER_CONFIGS:
+        print(f"  {name:<10} (paper cluster Aohyper, device={name})")
+    print("  cluster-a  (paper cluster A: 32 nodes, NFS on RAID5 front-end)")
+    print("workloads:")
+    print("  btio       NAS BT-IO (--class, --nprocs, --subtype full|simple)")
+    print("  madbench   MADbench2 (--kpix, --nprocs, --filetype unique|shared)")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    m = _methodology(args)
+    m.characterize()
+    for tables in m.tables.values():
+        for table in tables.values():
+            print(format_perf_table(table))
+            print()
+    if args.out:
+        for name in m.save_tables(args.out):
+            print(f"  -> saved {Path(args.out) / name}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    m = _methodology(args)
+    print("characterizing ...", file=sys.stderr)
+    m.characterize()
+    app = _app(args)
+    print(f"evaluating {app.name} ...", file=sys.stderr)
+    reports = m.evaluate(app)
+    print(format_run_metrics(reports))
+    for op in ("write", "read"):
+        print(format_used_matrix(reports, op))
+    return 0
+
+
+def cmd_predict(args) -> int:
+    m = _methodology(args)
+    print("characterizing ...", file=sys.stderr)
+    m.characterize()
+    app = _app(args)
+    # one (cheap) reference run on the first configuration builds the
+    # system-independent application profile
+    first = next(iter(m.configs))
+    print(f"profiling {app.name} on {first!r} ...", file=sys.stderr)
+    reports = m.evaluate(app, names=[first])
+    profile = reports[first].profile
+    print(f"{'configuration':<14}{'predicted I/O time':>20}{'limiting levels':>30}")
+    for pred in rank_predicted(profile, m.tables):
+        levels = ", ".join(f"{k}:{v}" for k, v in pred.limiting_levels().items())
+        print(f"{pred.config_name:<14}{pred.io_time_s:>18.1f}s  {levels:>28}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="I/O-system performance evaluation methodology (CLUSTER 2011 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show configurations and workloads").set_defaults(func=cmd_list)
+
+    def common(sp):
+        sp.add_argument("--configs", nargs="+", default=list(AOHYPER_CONFIGS),
+                        help="configuration names (default: the three Aohyper configs)")
+        sp.add_argument("--block-step", type=int, default=3,
+                        help="stride through the 32K..16M block sweep (1 = all ten sizes)")
+        sp.add_argument("--ior-gib", type=int, default=2, help="IOR file size in GiB")
+
+    c = sub.add_parser("characterize", help="phase 1: build performance tables")
+    common(c)
+    c.add_argument("--out", help="directory to save tables as CSV")
+    c.set_defaults(func=cmd_characterize)
+
+    def workload(sp):
+        sp.add_argument("workload", choices=["btio", "madbench"])
+        sp.add_argument("--nprocs", type=int, default=16)
+        sp.add_argument("--class", dest="clazz", default="A", help="BT-IO class (S/W/A/B/C)")
+        sp.add_argument("--subtype", default="full", choices=["full", "simple"])
+        sp.add_argument("--kpix", type=int, default=6, help="MADbench2 KPIX")
+        sp.add_argument("--filetype", default="shared", choices=["unique", "shared"])
+
+    e = sub.add_parser("evaluate", help="phase 3: run a workload per configuration")
+    common(e)
+    workload(e)
+    e.set_defaults(func=cmd_evaluate)
+
+    pr = sub.add_parser("predict", help="predict I/O time per configuration (no full runs)")
+    common(pr)
+    workload(pr)
+    pr.set_defaults(func=cmd_predict)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

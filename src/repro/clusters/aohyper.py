@@ -1,0 +1,62 @@
+"""The paper's cluster *Aohyper* (§III-A1).
+
+8 nodes of AMD Athlon 64 X2 dual-core 3800+, 2 GB RAM, 150 GB local
+disk, ext4 local filesystem, NFS global filesystem.  The NFS server
+carries a RAID 1 (2 disks, 230 GB) and a RAID 5 (5 disks,
+stripe = 256 KB, 917 GB), both with write-back cache; two Gigabit
+Ethernet networks, one for communication and one for data.
+
+Three I/O configurations are evaluated (paper Fig. 4): JBOD (single
+disk, no redundancy), RAID 1 (disk + mirror) and RAID 5 (five
+disks).  The configuration applies to the device level under test —
+both the compute nodes' software-RAID local storage and the NFS
+server's array.
+"""
+
+from __future__ import annotations
+
+from ..simengine import Environment
+from ..hardware import DiskSpec, NodeSpec, RAIDConfig, RAIDLevel
+from ..storage.base import GiB, KiB, MiB
+from .builder import System, SystemConfig, build_system
+
+__all__ = ["AOHYPER_CONFIGS", "aohyper_config", "build_aohyper"]
+
+#: 150 GB SATA disk of the period
+_DISK = DiskSpec(capacity_bytes=150 * 1000 * MiB)
+
+#: AMD Athlon 64 X2 3800+: 2 cores, 2 GB RAM
+_NODE = NodeSpec(cores=2, core_gflops=4.0, ram_bytes=2 * GiB)
+
+AOHYPER_CONFIGS = ("jbod", "raid1", "raid5")
+
+
+def _device(config_name: str) -> RAIDConfig:
+    if config_name == "jbod":
+        return RAIDConfig(level=RAIDLevel.JBOD, ndisks=1, disk=_DISK)
+    if config_name == "raid1":
+        return RAIDConfig(level=RAIDLevel.RAID1, ndisks=2, disk=_DISK)
+    if config_name == "raid5":
+        return RAIDConfig(
+            level=RAIDLevel.RAID5, ndisks=5, stripe_bytes=256 * KiB, disk=_DISK
+        )
+    raise ValueError(f"unknown Aohyper configuration {config_name!r} (want one of {AOHYPER_CONFIGS})")
+
+
+def aohyper_config(device: str = "raid5") -> SystemConfig:
+    """The :class:`SystemConfig` for one of Aohyper's I/O configurations."""
+    dev = _device(device)
+    return SystemConfig(
+        name=f"aohyper-{device}",
+        n_compute=8,
+        compute_spec=_NODE,
+        server_spec=_NODE,
+        local_device=dev,
+        server_device=dev,
+        separate_data_network=True,
+    )
+
+
+def build_aohyper(env: Environment, device: str = "raid5") -> System:
+    """Build cluster Aohyper under the given device configuration."""
+    return build_system(env, aohyper_config(device))

@@ -1,0 +1,141 @@
+"""Assemble full simulated systems: nodes + networks + storage + mounts.
+
+A :class:`System` is everything the methodology operates on — the
+paper's "I/O configuration": compute nodes with local filesystems, an
+I/O node exporting a RAID-backed filesystem over NFS, and one or two
+Gigabit Ethernet fabrics.  Every node gets a VFS with ``/local``
+(its own disks) and ``/nfs`` (the shared export) so workloads choose
+the access type (paper Table I: Local / Global) purely by path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..simengine import Environment
+from ..hardware import (
+    Cluster,
+    LinkSpec,
+    Network,
+    Node,
+    NodeSpec,
+    RAIDArray,
+    RAIDConfig,
+    GIGABIT,
+)
+from ..storage import LocalFS, LocalFSSpec, NFSMount, NFSServer, NFSSpec, VFS
+
+__all__ = ["SystemConfig", "System", "build_system"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything configurable about a cluster's I/O architecture.
+
+    These fields are exactly the paper's "configurable factors"
+    (§III-B1): filesystems, networks, buffer/cache, device
+    organisation, I/O node placement.
+    """
+
+    name: str = "cluster"
+    n_compute: int = 8
+    compute_spec: NodeSpec = NodeSpec()
+    server_spec: NodeSpec = NodeSpec()
+    #: device organisation of each compute node's local storage
+    local_device: RAIDConfig = RAIDConfig()
+    #: device organisation behind the NFS export
+    server_device: RAIDConfig = RAIDConfig()
+    link: LinkSpec = GIGABIT
+    #: dedicated data network (False = file traffic shares the MPI fabric)
+    separate_data_network: bool = True
+    nfs: NFSSpec = NFSSpec()
+    localfs: LocalFSSpec = LocalFSSpec()
+    #: disable a node-level page cache by shrinking it (factor: cache state)
+    client_cache_enabled: bool = True
+    server_cache_enabled: bool = True
+
+
+class System:
+    """A built, runnable I/O configuration."""
+
+    def __init__(self, env: Environment, config: SystemConfig):
+        self.env = env
+        self.config = config
+        self.cluster = Cluster(env, config.name)
+        names = [f"n{i}" for i in range(config.n_compute)]
+        server_name = "ionode"
+
+        comm = Network(env, names + [server_name], config.link, name=f"{config.name}.comm")
+        if config.separate_data_network:
+            data = Network(env, names + [server_name], config.link, name=f"{config.name}.data")
+        else:
+            data = comm
+        self.cluster.set_networks(comm, data)
+
+        # --- I/O node -------------------------------------------------
+        self.server_node = Node(env, server_name, config.server_spec, storage=config.server_device)
+        self.cluster.add_node(self.server_node)
+        from ..storage.cache import CacheSpec
+
+        server_cache = None
+        if not config.server_cache_enabled:
+            server_cache = CacheSpec(capacity_bytes=64 * 1024 * 1024)
+        self.export = LocalFS(
+            env,
+            self.server_node,
+            self.server_node.array,
+            spec=config.localfs,
+            cache_spec=server_cache,
+            name=f"{config.name}.export",
+        )
+        self.nfs_server = NFSServer(env, self.server_node, self.export, data, config.nfs)
+
+        # --- compute nodes -------------------------------------------
+        self.compute: list[Node] = []
+        self.local_fs: dict[str, LocalFS] = {}
+        self.nfs_mounts: dict[str, NFSMount] = {}
+        for nm in names:
+            node = Node(env, nm, config.compute_spec, storage=config.local_device)
+            self.cluster.add_node(node)
+            self.compute.append(node)
+            lfs = LocalFS(env, node, node.array, spec=config.localfs, name=f"{nm}.localfs")
+            client_cache = None
+            if not config.client_cache_enabled:
+                client_cache = CacheSpec(capacity_bytes=16 * 1024 * 1024)
+            mount = NFSMount(env, node, self.nfs_server, cache_spec=client_cache)
+            vfs = VFS(env, name=f"{nm}.vfs")
+            vfs.mount("/local", lfs)
+            vfs.mount("/nfs", mount)
+            node.vfs = vfs
+            self.local_fs[nm] = lfs
+            self.nfs_mounts[nm] = mount
+        # the I/O node sees its export as a local path too
+        server_vfs = VFS(env, name=f"{server_name}.vfs")
+        server_vfs.mount("/nfs", self.export)
+        server_vfs.mount("/local", self.export)
+        self.server_node.vfs = server_vfs
+
+    # -- convenience -----------------------------------------------------
+    def world(self, nprocs: int, placement: str = "block", tracer=None, io_hints=None):
+        """An :class:`~repro.mpi.sim.MPIWorld` over this system."""
+        from ..mpi.sim import MPIWorld
+
+        return MPIWorld(
+            self.env, self.cluster, nprocs, placement=placement, tracer=tracer, io_hints=io_hints
+        )
+
+    def node(self, name: str) -> Node:
+        return self.cluster.node(name)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        c = self.config
+        return (
+            f"<System {c.name!r} {c.n_compute} nodes, server={c.server_device.level.value}"
+            f" x{c.server_device.ndisks}, local={c.local_device.level.value}>"
+        )
+
+
+def build_system(env: Environment, config: SystemConfig) -> System:
+    """Build a system from its configuration (the main factory)."""
+    return System(env, config)

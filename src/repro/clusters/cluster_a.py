@@ -1,0 +1,47 @@
+"""The paper's *cluster A* (§IV).
+
+32 compute nodes of 2× dual-core Intel Xeon 3.00 GHz (4 cores),
+12 GB RAM, 160 GB SATA disk, dual Gigabit Ethernet.  The front-end
+node is the NFS server: dual-core Xeon 2.66 GHz, 8 GB RAM and a
+1.8 TB RAID 5, dual Gigabit Ethernet.
+
+Unlike Aohyper, cluster A has a single I/O configuration: shared
+files through NFS on the RAID 5 front-end, node-local JBOD disks for
+local/independent accesses.
+"""
+
+from __future__ import annotations
+
+from ..simengine import Environment
+from ..hardware import DiskSpec, NodeSpec, RAIDConfig, RAIDLevel
+from ..storage.base import GiB, KiB, MiB
+from .builder import System, SystemConfig, build_system
+
+__all__ = ["cluster_a_config", "build_cluster_a"]
+
+#: 160 GB local SATA disks
+_LOCAL_DISK = DiskSpec(capacity_bytes=160 * 1000 * MiB)
+#: server spindles behind the 1.8 TB RAID 5 (5 x 450 GB)
+_SERVER_DISK = DiskSpec(capacity_bytes=450 * 1000 * MiB)
+
+_COMPUTE = NodeSpec(cores=4, core_gflops=6.0, ram_bytes=12 * GiB)
+_SERVER = NodeSpec(cores=2, core_gflops=5.3, ram_bytes=8 * GiB)
+
+
+def cluster_a_config() -> SystemConfig:
+    return SystemConfig(
+        name="cluster-a",
+        n_compute=32,
+        compute_spec=_COMPUTE,
+        server_spec=_SERVER,
+        local_device=RAIDConfig(level=RAIDLevel.JBOD, ndisks=1, disk=_LOCAL_DISK),
+        server_device=RAIDConfig(
+            level=RAIDLevel.RAID5, ndisks=5, stripe_bytes=256 * KiB, disk=_SERVER_DISK
+        ),
+        separate_data_network=True,
+    )
+
+
+def build_cluster_a(env: Environment) -> System:
+    """Build cluster A."""
+    return build_system(env, cluster_a_config())

@@ -1,0 +1,152 @@
+"""Phase 3 of the methodology: evaluation (paper §III-C, Figs. 9-11).
+
+The application is run on each selected I/O configuration; its
+achieved transfer rates are compared with the characterized values at
+every level of the I/O path to produce the **used-percentage table**
+(the generation algorithm of Fig. 10):
+
+    for each application measure (op, block, access, mode, rate):
+        for each level's performance table:
+            char = table.lookup(op, block, access, mode)   # Fig. 11
+            used% = 100 * rate / char
+
+"When the application is not limited by I/O on a specific level the
+used percentage probably surpasses 100%" — e.g. reads served from a
+cache exceed the stressed-device characterization — "then we evaluate
+the next level in the I/O path."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..storage.base import AccessMode, AccessType
+from .characterize import AppMeasure, AppProfile
+from .perftable import PerformanceTable
+
+__all__ = [
+    "UsedRow",
+    "UsedPercentageTable",
+    "generate_used_percentage",
+    "bottleneck_level",
+    "EvaluationReport",
+]
+
+
+@dataclass(frozen=True)
+class UsedRow:
+    """One cell of the used-percentage table (paper Tables III/IV/VI/...)."""
+
+    level: str
+    op: str
+    block_bytes: int
+    mode: AccessMode
+    access: AccessType
+    app_rate_Bps: float
+    characterized_Bps: Optional[float]
+
+    @property
+    def used_pct(self) -> Optional[float]:
+        if self.characterized_Bps is None or self.characterized_Bps <= 0:
+            return None
+        return 100.0 * self.app_rate_Bps / self.characterized_Bps
+
+
+@dataclass
+class UsedPercentageTable:
+    """All (measure × level) cells for one application run on one config."""
+
+    config_name: str
+    rows: list[UsedRow] = field(default_factory=list)
+
+    def cell(self, level: str, op: str) -> Optional[float]:
+        """Byte-weighted used%% for an operation type at a level."""
+        cells = [
+            r for r in self.rows if r.level == level and r.op == op and r.used_pct is not None
+        ]
+        if not cells:
+            return None
+        weights = [r.app_rate_Bps for r in cells]
+        total = sum(weights)
+        if total <= 0:
+            return sum(r.used_pct for r in cells) / len(cells)
+        return sum(r.used_pct * w for r, w in zip(cells, weights)) / total
+
+    def levels(self) -> list[str]:
+        seen: list[str] = []
+        for r in self.rows:
+            if r.level not in seen:
+                seen.append(r.level)
+        return seen
+
+
+def generate_used_percentage(
+    config_name: str,
+    profile: AppProfile,
+    tables: dict[str, PerformanceTable],
+    min_bytes_fraction: float = 0.01,
+) -> UsedPercentageTable:
+    """The paper's Fig. 10 algorithm.
+
+    Measures carrying less than ``min_bytes_fraction`` of the
+    operation type's bytes are noise (open/close bookkeeping, tiny
+    headers) and are skipped.
+    """
+    out = UsedPercentageTable(config_name)
+    totals = {"read": 0, "write": 0}
+    for m in profile.measures:
+        totals[m.op] = totals.get(m.op, 0) + m.total_bytes
+    for m in profile.measures:
+        if totals.get(m.op) and m.total_bytes < totals[m.op] * min_bytes_fraction:
+            continue
+        for level, table in tables.items():
+            char = table.lookup(m.op, m.block_bytes, m.access, m.mode)
+            out.rows.append(
+                UsedRow(level, m.op, m.block_bytes, m.mode, m.access, m.rate_Bps, char)
+            )
+    return out
+
+
+def bottleneck_level(
+    table: UsedPercentageTable, op: str, level_order: Sequence[str] = ("iolib", "nfs", "localfs")
+) -> Optional[str]:
+    """Walk the I/O path (paper §III-C2): the first level whose used
+    percentage stays below 100% is where the application is actually
+    limited; levels exceeding 100% are not the constraint (cache or
+    aggregation effects) and the next level is examined."""
+    for level in level_order:
+        pct = table.cell(level, op)
+        if pct is None:
+            continue
+        if pct < 100.0:
+            return level
+    return None
+
+
+@dataclass
+class EvaluationReport:
+    """Everything the evaluation phase produces for one configuration."""
+
+    config_name: str
+    execution_time_s: float
+    io_time_s: float
+    bytes_written: int
+    bytes_read: int
+    used: UsedPercentageTable
+    profile: AppProfile
+
+    @property
+    def io_fraction(self) -> float:
+        return self.io_time_s / self.execution_time_s if self.execution_time_s > 0 else 0.0
+
+    @property
+    def throughput_Bps(self) -> float:
+        moved = self.bytes_written + self.bytes_read
+        return moved / self.io_time_s if self.io_time_s > 0 else 0.0
+
+    def write_bottleneck(self) -> Optional[str]:
+        return bottleneck_level(self.used, "write")
+
+    def read_bottleneck(self) -> Optional[str]:
+        return bottleneck_level(self.used, "read")

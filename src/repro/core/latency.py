@@ -1,0 +1,100 @@
+"""Latency and IOPs characterization per I/O path level (paper Fig. 2).
+
+The characterization phase measures three quantities at every level:
+bandwidth (the performance tables of :mod:`repro.core.perftable`),
+**latency** and **IOPs**.  This module measures the latter two with
+small-operation probes:
+
+* *latency* — the round-trip time of a single 4 KiB operation against
+  a cold backend (positioning + protocol, no queueing);
+* *IOPs* — sustained small scattered operations per second under load
+  (the "stressed I/O system" condition the paper uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simengine import Environment
+from ..storage.base import IORequest, KiB, MiB
+from ..clusters.builder import System, SystemConfig, build_system
+
+__all__ = ["LatencyProfile", "measure_latency_iops", "characterize_latency"]
+
+_PROBE_BYTES = 4 * KiB
+_IOPS_OPS = 600
+_SCATTER = 64 * MiB
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Small-operation behaviour of one I/O path level."""
+
+    level: str
+    read_latency_s: float
+    write_latency_s: float
+    read_iops: float
+    write_iops: float
+
+    def render(self) -> str:
+        return (
+            f"{self.level:<10} latency r/w: {self.read_latency_s * 1e3:7.3f} / "
+            f"{self.write_latency_s * 1e3:7.3f} ms   IOPs r/w: "
+            f"{self.read_iops:8.0f} / {self.write_iops:8.0f}"
+        )
+
+
+def _fs_for_level(system: System, level: str):
+    if level == "localfs":
+        return system.local_fs["n0"], False
+    if level == "nfs":
+        return system.nfs_mounts["n0"], False
+    if level == "iolib":
+        return system.nfs_mounts["n0"], True  # MPI-IO's direct path
+    raise ValueError(f"unknown level {level!r}")
+
+
+def measure_latency_iops(system: System, level: str) -> LatencyProfile:
+    """Probe one level of an already-built system."""
+    fs, direct = _fs_for_level(system, level)
+    env = system.env
+    submit = fs.submit_direct if direct else fs.submit
+
+    inode = env.run(fs.create(f"/char_lat_{level}.tmp"))
+    # a large-enough file that scattered probes really scatter
+    env.run(fs.submit(inode, IORequest("write", 0, 1 * MiB, count=256)))
+    env.run(fs.fsync(inode))
+
+    # single-op latency (cold-ish: land far from the previous access)
+    t0 = env.now
+    env.run(submit(inode, IORequest("read", 128 * MiB, _PROBE_BYTES)))
+    read_lat = env.now - t0
+    t0 = env.now
+    env.run(submit(inode, IORequest("write", 192 * MiB, _PROBE_BYTES)))
+    if not direct:
+        env.run(fs.fsync(inode))
+    write_lat = env.now - t0
+
+    # sustained scattered small ops
+    t0 = env.now
+    env.run(submit(inode, IORequest("read", 0, _PROBE_BYTES, count=_IOPS_OPS, stride=_SCATTER)))
+    read_iops = _IOPS_OPS / (env.now - t0)
+    t0 = env.now
+    env.run(submit(inode, IORequest("write", 0, _PROBE_BYTES, count=_IOPS_OPS, stride=_SCATTER)))
+    if not direct:
+        env.run(fs.fsync(inode))
+    write_iops = _IOPS_OPS / (env.now - t0)
+
+    env.run(fs.unlink(f"/char_lat_{level}.tmp") if hasattr(fs, "unlink") else env.timeout(0))
+    return LatencyProfile(level, read_lat, write_lat, read_iops, write_iops)
+
+
+def characterize_latency(
+    config: SystemConfig, levels=("iolib", "nfs", "localfs")
+) -> dict[str, LatencyProfile]:
+    """Latency/IOPs profiles on fresh systems, one per level."""
+    out = {}
+    for level in levels:
+        system = build_system(Environment(), config)
+        out[level] = measure_latency_iops(system, level)
+    return out

@@ -1,0 +1,194 @@
+"""The three-phase methodology facade (paper Fig. 1).
+
+Ties the pieces together:
+
+1. **Characterization** — system performance tables per I/O path
+   level (:func:`~repro.core.characterize.characterize_system`) and
+   application profile from a traced run
+   (:func:`~repro.core.characterize.characterize_app`).
+2. **I/O configuration analysis** — configurable factors and the set
+   of candidate configurations (:mod:`repro.core.factors`).
+3. **Evaluation** — run the application on each configuration,
+   generate used-percentage tables, locate inefficiency, and select
+   the most suitable configuration.
+
+Typical use::
+
+    m = Methodology({name: aohyper_config(name) for name in AOHYPER_CONFIGS})
+    m.characterize()                       # phase 1 (system side)
+    reports = m.evaluate(app)              # phase 3 (runs the app per config)
+    best = m.recommend(app_profile)        # configuration selection
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, Sequence
+
+from ..simengine import Environment
+from ..storage.base import AccessType
+from ..clusters.builder import System, SystemConfig, build_system
+from ..tracing import IOTracer
+from .characterize import (
+    AppProfile,
+    characterize_app,
+    characterize_system,
+    DEFAULT_BLOCKS,
+    LEVELS,
+)
+from .evaluation import EvaluationReport, generate_used_percentage
+from .factors import ConfigurableFactors, extract_factors, rank_configurations
+from .perftable import PerformanceTable
+
+__all__ = ["Application", "AppRun", "Methodology"]
+
+
+@dataclass
+class AppRun:
+    """What an application run must report back to the methodology."""
+
+    tracer: IOTracer
+    execution_time_s: float
+    io_time_s: float
+    bytes_written: int
+    bytes_read: int
+
+
+class Application(Protocol):
+    """Anything the evaluation phase can execute on a system."""
+
+    name: str
+
+    def run(self, system: System) -> AppRun:  # pragma: no cover - protocol
+        ...
+
+
+class Methodology:
+    """Performance evaluation of the I/O system over named configurations."""
+
+    def __init__(
+        self,
+        configs: dict[str, SystemConfig],
+        levels: Sequence[str] = LEVELS,
+        block_sizes: Sequence[int] = DEFAULT_BLOCKS,
+        char_file_bytes: Optional[int] = None,
+        ior_nprocs: int = 8,
+        ior_file_bytes: Optional[int] = None,
+    ):
+        if not configs:
+            raise ValueError("need at least one configuration")
+        self.configs = dict(configs)
+        self.levels = tuple(levels)
+        self.block_sizes = tuple(block_sizes)
+        self.char_file_bytes = char_file_bytes
+        self.ior_nprocs = ior_nprocs
+        self.ior_file_bytes = ior_file_bytes
+        self.tables: dict[str, dict[str, PerformanceTable]] = {}
+
+    # ------------------------------------------------------------------
+    # phase 1: characterization (system side)
+    # ------------------------------------------------------------------
+    def characterize(self, names: Optional[Sequence[str]] = None) -> dict[str, dict[str, PerformanceTable]]:
+        """Build performance tables for each configuration and level."""
+        for name in names or self.configs:
+            self.tables[name] = characterize_system(
+                self.configs[name],
+                levels=self.levels,
+                block_sizes=self.block_sizes,
+                file_bytes=self.char_file_bytes,
+                ior_nprocs=self.ior_nprocs,
+                ior_file_bytes=self.ior_file_bytes,
+            )
+        return self.tables
+
+    # ------------------------------------------------------------------
+    # phase 2: configuration analysis
+    # ------------------------------------------------------------------
+    def factors(self) -> dict[str, ConfigurableFactors]:
+        return {name: extract_factors(cfg) for name, cfg in self.configs.items()}
+
+    # ------------------------------------------------------------------
+    # phase 3: evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        app: Application,
+        names: Optional[Sequence[str]] = None,
+        access: AccessType = AccessType.GLOBAL,
+    ) -> dict[str, EvaluationReport]:
+        """Run the application on each configuration and compare against
+        the characterized tables (phase 1 must have run)."""
+        reports: dict[str, EvaluationReport] = {}
+        for name in names or self.configs:
+            if name not in self.tables:
+                raise RuntimeError(f"configuration {name!r} not characterized yet")
+            system = build_system(Environment(), self.configs[name])
+            run = app.run(system)
+            profile = characterize_app(run.tracer, access=access)
+            used = generate_used_percentage(name, profile, self.tables[name])
+            reports[name] = EvaluationReport(
+                config_name=name,
+                execution_time_s=run.execution_time_s,
+                io_time_s=run.io_time_s,
+                bytes_written=run.bytes_written,
+                bytes_read=run.bytes_read,
+                used=used,
+                profile=profile,
+            )
+        return reports
+
+    def recommend(
+        self,
+        profile: AppProfile,
+        level: str = "nfs",
+        require_redundancy: bool = False,
+    ):
+        """Rank configurations for an application profile (phase 2+3)."""
+        return rank_configurations(
+            profile,
+            self.tables,
+            level=level,
+            require_redundancy=require_redundancy,
+            factors_by_config=self.factors(),
+        )
+
+    # ------------------------------------------------------------------
+    # persistence: characterization is expensive, keep it
+    # ------------------------------------------------------------------
+    def save_tables(self, directory) -> list[str]:
+        """Write every performance table as ``<config>_<level>.csv``.
+
+        Returns the written file names.  Re-load with
+        :meth:`load_tables`, so phase 1 runs once per system and its
+        results serve later evaluation sessions.
+        """
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        for name, tables in self.tables.items():
+            for level, table in tables.items():
+                path = directory / f"{name}_{level}.csv"
+                path.write_text(table.to_csv())
+                written.append(path.name)
+        return sorted(written)
+
+    def load_tables(self, directory) -> dict[str, dict[str, PerformanceTable]]:
+        """Load tables previously written by :meth:`save_tables`.
+
+        Only files matching this methodology's configuration names are
+        loaded; missing files are simply absent from the result.
+        """
+        from pathlib import Path
+
+        directory = Path(directory)
+        for name in self.configs:
+            tables: dict[str, PerformanceTable] = {}
+            for level in self.levels:
+                path = directory / f"{name}_{level}.csv"
+                if path.exists():
+                    tables[level] = PerformanceTable.from_csv(level, path.read_text())
+            if tables:
+                self.tables[name] = tables
+        return self.tables

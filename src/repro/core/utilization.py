@@ -1,0 +1,105 @@
+"""Resource-utilization snapshots: locating the inefficiency point.
+
+The evaluation phase "determine[s] the utilization and possible
+points of inefficiency in the I/O path" (paper §III-C).  The
+used-percentage tables do that against *characterized* capacity; this
+module complements them with *direct* evidence from the simulated
+hardware — the busy fraction of every disk and network link and the
+byte counters of the filesystems — collected from a
+:class:`~repro.clusters.builder.System` after an application run.
+
+A resource near 100% busy during the run is the physical bottleneck;
+a run where nothing is busy is limited by the application itself
+(computation, communication or serialisation) — the distinction the
+paper draws for BT-IO full ("limited by computing and/or
+communication") vs simple ("limited by I/O").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..clusters.builder import System
+
+__all__ = ["ResourceUsage", "UtilizationReport", "snapshot_utilization"]
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Busy fraction of one hardware resource over an interval."""
+
+    name: str
+    kind: str  # "disk" | "link" | "threads"
+    busy_s: float
+    utilization: float  # busy / interval
+
+    def render(self) -> str:
+        bar = "#" * int(round(self.utilization * 20))
+        return f"{self.name:<28}{self.kind:<8}{self.utilization * 100:6.1f}% |{bar:<20}|"
+
+
+@dataclass
+class UtilizationReport:
+    interval_s: float
+    resources: list[ResourceUsage] = field(default_factory=list)
+
+    def hottest(self, kind: str | None = None, n: int = 3) -> list[ResourceUsage]:
+        rs = [r for r in self.resources if kind is None or r.kind == kind]
+        return sorted(rs, key=lambda r: r.utilization, reverse=True)[:n]
+
+    def bottleneck(self, threshold: float = 0.85) -> ResourceUsage | None:
+        """The busiest resource, if anything is actually saturated."""
+        hot = self.hottest(n=1)
+        if hot and hot[0].utilization >= threshold:
+            return hot[0]
+        return None
+
+    def render(self, top: int = 10) -> str:
+        lines = [f"resource utilization over {self.interval_s:.1f}s (top {top}):"]
+        for r in self.hottest(n=top):
+            lines.append("  " + r.render())
+        b = self.bottleneck()
+        if b is not None:
+            lines.append(f"  -> physical bottleneck: {b.name} ({b.utilization * 100:.0f}% busy)")
+        else:
+            lines.append("  -> no saturated resource: the application itself limits the run")
+        return "\n".join(lines)
+
+
+def snapshot_utilization(system: System, since_s: float = 0.0) -> UtilizationReport:
+    """Collect busy fractions of every disk and link in the system.
+
+    ``since_s`` subtracts setup time: utilizations are computed over
+    ``now - since_s``.  Counters are cumulative, so for a clean
+    per-phase view build a fresh system per run (as the methodology's
+    evaluate() does).
+    """
+    env = system.env
+    interval = max(env.now - since_s, 1e-12)
+    report = UtilizationReport(interval_s=interval)
+
+    def add_disks(array, owner):
+        for d in array.disks:
+            report.resources.append(
+                ResourceUsage(f"{owner}:{d.name}", "disk", d.stats.busy_s,
+                              min(d.stats.busy_s / interval, 1.0))
+            )
+
+    add_disks(system.server_node.array, "ionode")
+    for node in system.compute:
+        if node.array is not None:
+            add_disks(node.array, node.name)
+
+    nets = {id(system.cluster.comm_network): ("comm", system.cluster.comm_network)}
+    nets[id(system.cluster.data_network)] = (
+        "data" if not system.cluster.shared_network else "comm",
+        system.cluster.data_network,
+    )
+    for label, net in nets.values():
+        for direction, links in (("up", net.uplinks), ("down", net.downlinks)):
+            for name, link in links.items():
+                report.resources.append(
+                    ResourceUsage(f"{label}:{name}:{direction}", "link", link.busy_s,
+                                  min(link.busy_s / interval, 1.0))
+                )
+    return report

@@ -1,0 +1,24 @@
+"""Simulated cluster hardware: disks, RAID arrays, networks, nodes."""
+
+from .disk import Disk, DiskSpec, READ, WRITE
+from .network import GIGABIT, TEN_GIGABIT, Link, LinkSpec, Network
+from .node import Cluster, Node, NodeSpec
+from .raid import RAIDArray, RAIDConfig, RAIDLevel
+
+__all__ = [
+    "Disk",
+    "DiskSpec",
+    "READ",
+    "WRITE",
+    "GIGABIT",
+    "TEN_GIGABIT",
+    "Link",
+    "LinkSpec",
+    "Network",
+    "Cluster",
+    "Node",
+    "NodeSpec",
+    "RAIDArray",
+    "RAIDConfig",
+    "RAIDLevel",
+]

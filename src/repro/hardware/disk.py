@@ -1,0 +1,229 @@
+"""Rotational-disk model.
+
+A :class:`Disk` serves byte-addressed read/write requests with a
+mechanical cost model:
+
+``service = seek + rotational latency + media transfer``
+
+* **Seek** scales with the square root of the distance between the
+  current head position and the target (a standard approximation of
+  voice-coil actuator behaviour); back-to-back sequential requests pay
+  no seek and no rotational latency.
+* **Rotational latency** is half a revolution on average.
+* **Media transfer** is zoned: outer tracks are faster than inner
+  ones, interpolated linearly over the capacity.
+* A small **readahead cache** serves sequential re-reads at bus speed,
+  which is what makes small-block sequential reads through a filesystem
+  fast in practice.
+
+All requests are serialised on the disk head (a FIFO
+:class:`~repro.simengine.resources.Resource` of capacity 1).  Bulk
+requests (``count > 1``) are served as one queue entry but are charged
+per-operation mechanical costs, split into time quanta so concurrent
+streams interleave fairly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simengine import Environment, Event, Resource
+
+__all__ = ["DiskSpec", "Disk", "READ", "WRITE"]
+
+READ = "read"
+WRITE = "write"
+
+MiB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Static parameters of a disk model (defaults: 7200rpm SATA, ca. 2011)."""
+
+    capacity_bytes: int = 150 * 1000 * MiB
+    rpm: float = 7200.0
+    avg_seek_s: float = 8.5e-3
+    track_to_track_s: float = 0.8e-3
+    outer_rate_Bps: float = 110.0 * MiB
+    inner_rate_Bps: float = 55.0 * MiB
+    bus_rate_Bps: float = 280.0 * MiB  # SATA-II effective
+    cache_bytes: int = 16 * MiB
+    readahead_bytes: int = 2 * MiB
+    command_overhead_s: float = 60e-6  # per-command controller/firmware cost
+
+    @property
+    def half_rotation_s(self) -> float:
+        return 0.5 * 60.0 / self.rpm
+
+    def media_rate(self, offset: int) -> float:
+        """Zoned media transfer rate (bytes/s) at byte ``offset``."""
+        frac = min(max(offset / self.capacity_bytes, 0.0), 1.0)
+        return self.outer_rate_Bps - (self.outer_rate_Bps - self.inner_rate_Bps) * frac
+
+
+@dataclass
+class DiskStats:
+    """Cumulative operation counters for a disk."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_s: float = 0.0
+    readahead_hits: int = 0
+    seeks: int = 0
+
+
+class Disk:
+    """One spindle.
+
+    Use :meth:`submit` to get an event that fires when the request has
+    been fully served by the media (or cache).
+    """
+
+    #: maximum time (s) a bulk request holds the head before letting
+    #: competing requests interleave
+    QUANTUM_S = 0.020
+
+    def __init__(self, env: Environment, spec: DiskSpec | None = None, name: str = "disk"):
+        self.env = env
+        self.spec = spec or DiskSpec()
+        self.name = name
+        self.head = Resource(env, capacity=1, name=f"{name}.head")
+        self.stats = DiskStats()
+        self._head_pos = 0  # byte offset after the last op
+        self._ra_start = -1  # readahead window [start, end)
+        self._ra_end = -1
+
+    # -- cost model ------------------------------------------------------
+    #: forward gaps up to this size are crossed by letting the platter
+    #: rotate past them (no head movement, no rotational re-sync)
+    SHORT_SKIP_BYTES = 2 * MiB
+
+    def _positioning_time(self, offset: int) -> float:
+        """Seek + rotational latency to reach ``offset``; 0 if sequential.
+
+        A short *forward* gap costs only the rotation time over the
+        skipped bytes — strided access with small holes therefore runs
+        near streaming speed, as real drives do.
+        """
+        if offset == self._head_pos:
+            return 0.0
+        spec = self.spec
+        gap = offset - self._head_pos
+        dist = abs(gap)
+        seek = spec.track_to_track_s + (spec.avg_seek_s - spec.track_to_track_s) * (
+            (dist / spec.capacity_bytes) ** 0.5
+        )
+        if 0 < gap <= self.SHORT_SKIP_BYTES:
+            skip = gap / spec.media_rate(offset)
+            if skip <= seek + spec.half_rotation_s:
+                return skip
+        self.stats.seeks += 1
+        return seek + spec.half_rotation_s
+
+    def _one_op_time(self, op: str, offset: int, nbytes: int) -> float:
+        """Service time for a single operation starting at ``offset``."""
+        spec = self.spec
+        if op == READ and self._ra_start <= offset and offset + nbytes <= self._ra_end:
+            # Readahead hit: positioning is free (the drive already
+            # streamed past), but first-time data still comes off the
+            # platter — media rate bounds a sequential stream.
+            self.stats.readahead_hits += 1
+            t = spec.command_overhead_s + nbytes / spec.media_rate(offset)
+            self._head_pos = offset + nbytes
+            return t
+        t = spec.command_overhead_s + self._positioning_time(offset)
+        t += nbytes / spec.media_rate(offset)
+        self._head_pos = offset + nbytes
+        if op == READ:
+            # The drive opportunistically prefetches past a read.
+            self._ra_start = offset
+            self._ra_end = offset + nbytes + spec.readahead_bytes
+        else:
+            # A write invalidates any overlapping readahead window.
+            if self._ra_start < offset + nbytes and offset < self._ra_end:
+                self._ra_start = self._ra_end = -1
+        return t
+
+    def service_time(self, op: str, offset: int, nbytes: int, count: int = 1, stride: int | None = None) -> float:
+        """Pure cost-model query: total head time for the request.
+
+        Does **not** advance simulated time; mutates head position the
+        same way actually serving the request would.
+        """
+        if op not in (READ, WRITE):
+            raise ValueError(f"bad op {op!r}")
+        if nbytes < 0 or count < 1:
+            raise ValueError("nbytes must be >= 0 and count >= 1")
+        if stride == -1:  # random pattern marker: model as a large scatter
+            stride = 127 * max(nbytes, 65536)
+        stride = nbytes if stride is None else stride
+        if count > 1 and stride == nbytes:
+            # Contiguous bulk: one positioning, one long transfer.
+            t = self._one_op_time(op, offset, nbytes)
+            rest = nbytes * (count - 1)
+            t += rest / self.spec.media_rate(offset) + self.spec.command_overhead_s * (count - 1)
+            self._head_pos = offset + nbytes * count
+            if op == READ:
+                self._ra_start = offset
+                self._ra_end = self._head_pos + self.spec.readahead_bytes
+            return t
+        t = 0.0
+        off = offset
+        for _ in range(count):
+            t += self._one_op_time(op, off % self.spec.capacity_bytes, nbytes)
+            off += stride
+        return t
+
+    # -- DES interface -----------------------------------------------------
+    def submit(
+        self,
+        op: str,
+        offset: int,
+        nbytes: int,
+        count: int = 1,
+        stride: int | None = None,
+        priority: int = 0,
+    ) -> Event:
+        """Serve a (possibly bulk) request; the event fires at completion."""
+        return self.env.process(
+            self._serve(op, offset, nbytes, count, stride, priority),
+            name=f"{self.name}.{op}",
+        )
+
+    def _serve(self, op, offset, nbytes, count, stride, priority):
+        stride_ = nbytes if stride is None else stride
+        total_bytes = nbytes * count
+        req = self.head.request(priority)
+        yield req
+        try:
+            total = self.service_time(op, offset, nbytes, count, stride_)
+            self.stats.busy_s += total
+            if op == READ:
+                self.stats.reads += count
+                self.stats.bytes_read += total_bytes
+            else:
+                self.stats.writes += count
+                self.stats.bytes_written += total_bytes
+            # Hold the head in quanta so that equal-priority competitors
+            # queued behind a huge bulk transfer are not starved forever
+            # (they interleave at quantum granularity).
+            remaining = total
+            while remaining > 0:
+                q = min(remaining, self.QUANTUM_S)
+                yield self.env.timeout(q)
+                remaining -= q
+                if remaining > 0 and self.head.queue:
+                    self.head.release(req)
+                    req = self.head.request(priority)
+                    yield req
+        finally:
+            self.head.release(req)
+        return total_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the head was busy."""
+        return self.stats.busy_s / self.env.now if self.env.now > 0 else 0.0

@@ -1,0 +1,197 @@
+"""Interconnect model: links, switch fabric, message transfers.
+
+The paper's clusters use one or two Gigabit Ethernet networks (one for
+"communication"/services, one for data).  We model a network as a
+star: every node owns a full-duplex **uplink** (node→switch) and
+**downlink** (switch→node); a transfer from A to B holds A's uplink
+and B's downlink for its serialisation time, so hot receivers (an NFS
+server under N writers) become the shared bottleneck, which is the
+dominant effect in the paper's NFS-level results.
+
+Effective bandwidth accounts for protocol framing overhead (TCP/IP
+over Ethernet, ~94% of line rate), and each message pays a fixed
+per-message latency (propagation, interrupt and protocol stack cost).
+Bulk transfers (``count`` messages back-to-back) are pipelined: the
+latency is paid once per message but overlaps with serialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simengine import Environment, Event, Resource
+
+__all__ = ["LinkSpec", "Link", "Network", "GIGABIT", "TEN_GIGABIT"]
+
+MiB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static parameters of a network link."""
+
+    raw_bandwidth_Bps: float = 125.0 * 1000 * 1000  # 1 Gb/s line rate
+    efficiency: float = 0.94  # framing + TCP/IP overhead
+    latency_s: float = 55e-6  # per-message one-way latency
+    per_message_cpu_s: float = 8e-6  # stack cost per message/RPC
+
+    @property
+    def bandwidth_Bps(self) -> float:
+        return self.raw_bandwidth_Bps * self.efficiency
+
+
+GIGABIT = LinkSpec()
+TEN_GIGABIT = LinkSpec(raw_bandwidth_Bps=1250.0 * 1000 * 1000, latency_s=30e-6)
+
+
+class Link:
+    """A single simplex link; transfers serialise FIFO on it."""
+
+    QUANTUM_S = 0.010
+
+    def __init__(self, env: Environment, spec: LinkSpec, name: str = "link"):
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self.channel = Resource(env, capacity=1, name=name)
+        self.bytes_carried = 0
+        self.messages = 0
+        self.busy_s = 0.0
+
+    def hold_time(self, nbytes: int, count: int = 1) -> float:
+        """Serialisation time for ``count`` back-to-back messages."""
+        return (
+            nbytes * count / self.spec.bandwidth_Bps
+            + count * self.spec.per_message_cpu_s
+        )
+
+    def transfer(self, nbytes: int, count: int = 1, priority: int = 0) -> Event:
+        """Move ``count`` messages of ``nbytes`` each across the link."""
+        if nbytes < 0 or count < 1:
+            raise ValueError("invalid transfer geometry")
+        return self.env.process(
+            self._send(nbytes, count, priority), name=f"{self.name}.xfer"
+        )
+
+    def _send(self, nbytes, count, priority):
+        req = self.channel.request(priority)
+        yield req
+        try:
+            total = self.hold_time(nbytes, count)
+            self.busy_s += total
+            self.bytes_carried += nbytes * count
+            self.messages += count
+            remaining = total
+            while remaining > 0:
+                q = min(remaining, self.QUANTUM_S)
+                yield self.env.timeout(q)
+                remaining -= q
+                if remaining > 0 and self.channel.queue:
+                    self.channel.release(req)
+                    req = self.channel.request(priority)
+                    yield req
+        finally:
+            self.channel.release(req)
+        # propagation latency of the tail message (pipelined with the rest)
+        yield self.env.timeout(self.spec.latency_s)
+        return nbytes * count
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_s / self.env.now if self.env.now > 0 else 0.0
+
+
+class Network:
+    """A switched star network connecting named endpoints.
+
+    >>> env = Environment()
+    >>> net = Network(env, ["n0", "n1", "server"], GIGABIT)
+    >>> ev = net.transfer("n0", "server", 1 << 20)
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        endpoints: list[str],
+        spec: LinkSpec = GIGABIT,
+        name: str = "net",
+    ):
+        if len(set(endpoints)) != len(endpoints):
+            raise ValueError("duplicate endpoint names")
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self.uplinks = {n: Link(env, spec, f"{name}.{n}.up") for n in endpoints}
+        self.downlinks = {n: Link(env, spec, f"{name}.{n}.down") for n in endpoints}
+
+    @property
+    def endpoints(self) -> list[str]:
+        return list(self.uplinks)
+
+    def add_endpoint(self, node: str) -> None:
+        if node in self.uplinks:
+            raise ValueError(f"endpoint {node!r} already attached")
+        self.uplinks[node] = Link(self.env, self.spec, f"{self.name}.{node}.up")
+        self.downlinks[node] = Link(self.env, self.spec, f"{self.name}.{node}.down")
+
+    def transfer(
+        self, src: str, dst: str, nbytes: int, count: int = 1, priority: int = 0
+    ) -> Event:
+        """Event firing when the last byte reaches ``dst``.
+
+        Cut-through switching: the sender's uplink and the receiver's
+        downlink are held *concurrently* for the serialisation time, so
+        a hot receiver (many-to-one traffic) bottlenecks on its
+        downlink while independent pairs proceed in parallel.  Local
+        transfers (``src == dst``) cost a memcpy and never touch the
+        fabric.
+        """
+        if src not in self.uplinks or dst not in self.uplinks:
+            raise KeyError(f"unknown endpoint in transfer {src!r}->{dst!r}")
+        if src == dst:
+            return self.env.timeout(1e-6 + nbytes * count / (2000.0 * MiB))
+        return self.env.process(self._route(src, dst, nbytes, count, priority))
+
+    def _route(self, src, dst, nbytes, count, priority):
+        up = self.uplinks[src]
+        down = self.downlinks[dst]
+        # Acquire uplink first, downlink second (fixed order; the two
+        # resource sets are disjoint so no deadlock cycle can form).
+        up_req = up.channel.request(priority)
+        yield up_req
+        down_req = down.channel.request(priority)
+        yield down_req
+        try:
+            total = up.hold_time(nbytes, count)
+            up.busy_s += total
+            down.busy_s += total
+            up.bytes_carried += nbytes * count
+            down.bytes_carried += nbytes * count
+            up.messages += count
+            down.messages += count
+            remaining = total
+            while remaining > 0:
+                q = min(remaining, Link.QUANTUM_S)
+                yield self.env.timeout(q)
+                remaining -= q
+                if remaining > 0 and (up.channel.queue or down.channel.queue):
+                    # Let competitors interleave at quantum granularity.
+                    down.channel.release(down_req)
+                    up.channel.release(up_req)
+                    up_req = up.channel.request(priority)
+                    yield up_req
+                    down_req = down.channel.request(priority)
+                    yield down_req
+        finally:
+            down.channel.release(down_req)
+            up.channel.release(up_req)
+        yield self.env.timeout(self.spec.latency_s)
+        return nbytes * count
+
+    def estimate_point_to_point(self, nbytes: int) -> float:
+        """Uncontended one-message A→B time (for cost-model callers)."""
+        return (
+            self.spec.latency_s
+            + self.spec.per_message_cpu_s
+            + nbytes / self.spec.bandwidth_Bps
+        )

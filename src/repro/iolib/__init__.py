@@ -1,0 +1,22 @@
+"""I/O library level internals: data sieving, aggregator selection, hints.
+
+The MPI-IO entry points live in :mod:`repro.mpi.io`; this package
+holds the ROMIO-style machinery they dispatch to, factored out so the
+ablation benchmarks can exercise each mechanism in isolation.
+"""
+
+from ..mpi.io import IOHints
+from .aggregation import all_ranks, fixed_count, one_per_node, select_aggregators
+from .sieving import DEFAULT_BUFFER, plan_sieve, should_sieve, SievePlan
+
+__all__ = [
+    "IOHints",
+    "all_ranks",
+    "fixed_count",
+    "one_per_node",
+    "select_aggregators",
+    "DEFAULT_BUFFER",
+    "plan_sieve",
+    "should_sieve",
+    "SievePlan",
+]

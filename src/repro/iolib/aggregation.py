@@ -1,0 +1,49 @@
+"""Aggregator-selection strategies for two-phase collective I/O.
+
+ROMIO's ``cb_config_list``/``cb_nodes`` hints pick which ranks act as
+aggregators during collective buffering.  The choice trades exchange
+traffic against filesystem concurrency — a first-class ablation axis
+for this reproduction (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["one_per_node", "fixed_count", "all_ranks", "select_aggregators"]
+
+
+def one_per_node(node_of_rank: Sequence[str]) -> list[int]:
+    """ROMIO's default: the lowest rank on each node."""
+    seen: dict[str, int] = {}
+    for r, node in enumerate(node_of_rank):
+        seen.setdefault(node, r)
+    return sorted(seen.values())
+
+
+def fixed_count(node_of_rank: Sequence[str], n: int) -> list[int]:
+    """``cb_nodes = n``: the first n of the per-node aggregators, or
+    evenly spaced ranks when n exceeds the node count."""
+    if n < 1:
+        raise ValueError("need at least one aggregator")
+    per_node = one_per_node(node_of_rank)
+    if n <= len(per_node):
+        return per_node[:n]
+    p = len(node_of_rank)
+    step = max(p // n, 1)
+    out = sorted(set(per_node) | set(range(0, p, step)))
+    return out[:n]
+
+
+def all_ranks(node_of_rank: Sequence[str]) -> list[int]:
+    """Every rank writes its own file domain (cb_nodes = nprocs)."""
+    return list(range(len(node_of_rank)))
+
+
+def select_aggregators(node_of_rank: Sequence[str], cb_nodes: int | None = None) -> list[int]:
+    """Dispatch on the hint value (None -> ROMIO default)."""
+    if cb_nodes is None:
+        return one_per_node(node_of_rank)
+    if cb_nodes >= len(node_of_rank):
+        return all_ranks(node_of_rank)
+    return fixed_count(node_of_rank, cb_nodes)

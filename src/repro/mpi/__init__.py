@@ -1,0 +1,14 @@
+"""Simulated MPI: world/ranks, collectives, MPI-IO with collective buffering."""
+
+from .io import IOHints, MPIFile, open_collective, open_self
+from .sim import MPIWorld, RankContext, Rendezvous
+
+__all__ = [
+    "IOHints",
+    "MPIFile",
+    "open_collective",
+    "open_self",
+    "MPIWorld",
+    "RankContext",
+    "Rendezvous",
+]

@@ -1,0 +1,168 @@
+"""Cost models for MPI collective operations.
+
+Each algorithm is a generator run by the *last* rank to arrive at the
+call site (see :class:`~repro.mpi.sim.Rendezvous`); it advances
+simulated time by driving real transfers over the cluster's
+communication network, so collectives contend with everything else on
+the fabric (including NFS traffic when the cluster shares one
+network).
+
+Algorithms follow the classic MPICH choices:
+
+* ``barrier`` — dissemination, ⌈log₂p⌉ rounds of empty messages;
+* ``bcast`` — binomial tree;
+* ``reduce``/``allreduce`` — binomial tree + (for allreduce) bcast,
+  with the arithmetic charged at the reducing nodes;
+* ``gather``/``allgather`` — direct to root / ring;
+* ``alltoall`` — pairwise exchange rounds.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "allgather",
+    "alltoall",
+]
+
+_ENVELOPE = 64
+#: flops per byte for reduction arithmetic (double-precision sum)
+_REDUCE_FLOP_PER_BYTE = 0.125
+
+
+def _net(world):
+    return world.cluster.comm_network
+
+
+def _rounds(p: int) -> int:
+    return max(1, ceil(log2(max(p, 2))))
+
+
+def barrier(world, _args):
+    """Dissemination barrier: log p rounds of envelope-sized messages."""
+    env = world.env
+    p = world.nprocs
+    net = _net(world)
+    for k in range(_rounds(p)):
+        evs = []
+        for r in range(p):
+            partner = (r + (1 << k)) % p
+            src = world.node_of(r).name
+            dst = world.node_of(partner).name
+            evs.append(net.transfer(src, dst, _ENVELOPE))
+        yield env.all_of(evs)
+    return None
+
+
+def bcast(world, data_by_rank):
+    """Binomial-tree broadcast; returns the root's payload."""
+    env = world.env
+    p = world.nprocs
+    net = _net(world)
+    entries = [d for d in data_by_rank.values() if d is not None]
+    root, nbytes, payload = entries[0] if entries else (0, 0, None)
+    for e in entries:
+        if e[2] is not None:  # the root's entry carries the payload
+            root, nbytes, payload = e
+            break
+    # ranks are renumbered so the root is 0; round k doubles the holders
+    have = 1
+    while have < p:
+        senders = min(have, p - have)
+        evs = []
+        for s in range(senders):
+            src = world.node_of((root + s) % p).name
+            dst = world.node_of((root + have + s) % p).name
+            evs.append(net.transfer(src, dst, nbytes + _ENVELOPE))
+        yield env.all_of(evs)
+        have += senders
+    return payload
+
+
+def reduce(world, data_by_rank):
+    """Binomial-tree reduction toward the root."""
+    env = world.env
+    p = world.nprocs
+    net = _net(world)
+    root, nbytes = next(iter(data_by_rank.values()))
+    remaining = p
+    while remaining > 1:
+        pairs = remaining // 2
+        evs = []
+        for s in range(pairs):
+            src = world.node_of((root + remaining - 1 - s) % p).name
+            dst = world.node_of((root + s) % p).name
+            evs.append(net.transfer(src, dst, nbytes + _ENVELOPE))
+        yield env.all_of(evs)
+        # arithmetic at the receivers
+        any_node = world.node_of(root)
+        yield env.timeout(any_node.compute_time(nbytes * _REDUCE_FLOP_PER_BYTE))
+        remaining -= pairs
+    return None
+
+
+def allreduce(world, args_by_rank):
+    """Reduce + broadcast (the bandwidth-equivalent of recursive doubling)."""
+    nbytes = next(iter(args_by_rank.values()))
+    yield world.env.process(reduce(world, {0: (0, nbytes)}))
+    yield world.env.process(bcast(world, {0: (0, nbytes, None)}))
+    return None
+
+
+def gather(world, data_by_rank):
+    """Everyone sends its block straight to the root (root link serialises)."""
+    env = world.env
+    p = world.nprocs
+    net = _net(world)
+    root, nbytes = next(iter(data_by_rank.values()))
+    evs = []
+    for r in range(p):
+        if r == root:
+            continue
+        evs.append(
+            net.transfer(world.node_of(r).name, world.node_of(root).name, nbytes + _ENVELOPE)
+        )
+    if evs:
+        yield env.all_of(evs)
+    return None
+
+
+def allgather(world, args_by_rank):
+    """Ring allgather: p-1 rounds, each rank forwarding one block."""
+    env = world.env
+    p = world.nprocs
+    net = _net(world)
+    nbytes = next(iter(args_by_rank.values()))
+    for _ in range(p - 1):
+        evs = [
+            net.transfer(world.node_of(r).name, world.node_of((r + 1) % p).name, nbytes + _ENVELOPE)
+            for r in range(p)
+        ]
+        yield env.all_of(evs)
+    return None
+
+
+def alltoall(world, args_by_rank):
+    """Pairwise-exchange all-to-all: p-1 rounds of disjoint pairs."""
+    env = world.env
+    p = world.nprocs
+    net = _net(world)
+    nbytes = next(iter(args_by_rank.values()))
+    for k in range(1, p):
+        evs = []
+        for r in range(p):
+            partner = r ^ k if (r ^ k) < p else None
+            if partner is None:
+                continue
+            evs.append(
+                net.transfer(world.node_of(r).name, world.node_of(partner).name, nbytes + _ENVELOPE)
+            )
+        if evs:
+            yield env.all_of(evs)
+    return None

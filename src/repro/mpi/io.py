@@ -1,0 +1,303 @@
+"""MPI-IO on top of the storage stack.
+
+Implements the two access disciplines whose contrast drives the
+paper's NAS BT-IO evaluation:
+
+* **independent** I/O (``read_at``/``write_at``) — each rank drives
+  its node's filesystem directly through the *direct* path (ROMIO on
+  NFS disables client caching, so small strided independent requests
+  pay a synchronous round trip each: the *simple* subtype);
+* **collective** I/O (``read_at_all``/``write_at_all``) — two-phase
+  collective buffering: ranks exchange data with a set of
+  *aggregators* (by default the lowest rank on each node, ROMIO's
+  ``cb_nodes``) over the communication network, and the aggregators
+  move large contiguous file domains through the filesystem (the
+  *full* subtype).
+
+Opens come in the collective (``MPI_COMM_WORLD``) flavour and a
+``COMM_SELF`` flavour used by unique-file-per-process workloads
+(MADbench2 ``FILETYPE=UNIQUE``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..simengine import Event
+from ..storage.base import IORequest
+from .sim import RankContext
+
+__all__ = ["MPIFile", "open_collective", "open_self", "IOHints"]
+
+
+@dataclass(frozen=True)
+class IOHints:
+    """ROMIO-style hints controlling collective buffering and sieving."""
+
+    cb_nodes: Optional[int] = None  # None -> one aggregator per node
+    cb_buffer_bytes: int = 16 * 1024 * 1024
+    collective: bool = True  # romio_cb_write/read enabled
+    ds_read: bool = False  # romio_ds_read: data sieving for sparse reads
+    ds_buffer_bytes: int = 4 * 1024 * 1024
+
+    @staticmethod
+    def from_dict(d: dict) -> "IOHints":
+        return IOHints(
+            cb_nodes=d.get("cb_nodes"),
+            cb_buffer_bytes=d.get("cb_buffer_bytes", 16 * 1024 * 1024),
+            collective=d.get("collective", True),
+            ds_read=d.get("ds_read", False),
+            ds_buffer_bytes=d.get("ds_buffer_bytes", 4 * 1024 * 1024),
+        )
+
+
+class MPIFile:
+    """A rank's handle on an MPI file."""
+
+    def __init__(self, ctx: RankContext, path: str, inode, fs, hints: IOHints):
+        self.ctx = ctx
+        self.path = path
+        self.inode = inode
+        self.fs = fs
+        self.hints = hints
+        self.env = ctx.env
+
+    # ------------------------------------------------------------------
+    # independent operations
+    # ------------------------------------------------------------------
+    def write_at(self, offset: int, nbytes: int, count: int = 1, stride: Optional[int] = None) -> Event:
+        return self._independent(IORequest("write", offset, nbytes, count, stride))
+
+    def read_at(self, offset: int, nbytes: int, count: int = 1, stride: Optional[int] = None) -> Event:
+        return self._independent(IORequest("read", offset, nbytes, count, stride))
+
+    def _independent(self, req: IORequest) -> Event:
+        def _op():
+            t0 = self.env.now
+            if req.op == "read" and self.hints.ds_read:
+                from ..iolib.sieving import plan_sieve, should_sieve
+
+                if should_sieve(req, self.hints.ds_buffer_bytes):
+                    # data sieving: dense covering reads + in-memory extract
+                    plan = plan_sieve(req, self.hints.ds_buffer_bytes)
+                    for sub in plan.requests:
+                        yield self.fs.submit_direct(self.inode, sub)
+                    yield self.env.timeout(
+                        self.ctx.node.memcpy_time(plan.fetched_bytes)
+                    )
+                    self._trace(req, t0, collective=False)
+                    return req.total_bytes
+            yield self.fs.submit_direct(self.inode, req)
+            self._trace(req, t0, collective=False)
+            return req.total_bytes
+
+        return self.env.process(_op(), name=f"mpiio.r{self.ctx.rank}.{req.op}")
+
+    # ------------------------------------------------------------------
+    # collective operations (two-phase I/O)
+    # ------------------------------------------------------------------
+    def write_at_all(self, offset: int, nbytes: int, count: int = 1, stride: Optional[int] = None) -> Event:
+        return self._collective(IORequest("write", offset, nbytes, count, stride))
+
+    def read_at_all(self, offset: int, nbytes: int, count: int = 1, stride: Optional[int] = None) -> Event:
+        return self._collective(IORequest("read", offset, nbytes, count, stride))
+
+    def _collective(self, req: IORequest) -> Event:
+        if not self.hints.collective:
+            return self._independent(req)
+
+        def _op():
+            t0 = self.env.now
+            world = self.ctx.world
+            point, last = world.rendezvous.arrive(
+                f"cio:{self.path}:{req.op}", self.ctx.rank, (self.ctx.rank, req)
+            )
+            if last:
+                reqs = yield point.all_arrived
+                result = yield self.env.process(
+                    _two_phase(world, self, req.op, dict(reqs.values())),
+                    name=f"twophase.{req.op}",
+                )
+                point.done.succeed(result)
+            else:
+                yield point.done
+            self._trace(req, t0, collective=True)
+            return req.total_bytes
+
+        return self.env.process(_op(), name=f"mpiio.r{self.ctx.rank}.{req.op}_all")
+
+    # ------------------------------------------------------------------
+    def sync(self) -> Event:
+        return self.fs.fsync(self.inode)
+
+    def close(self) -> Event:
+        """Collective close: flush once, then everyone drops the handle."""
+
+        def _op():
+            world = self.ctx.world
+            point, last = world.rendezvous.arrive(f"fclose:{self.path}", self.ctx.rank, None)
+            if last:
+                yield point.all_arrived
+                yield self.fs.fsync(self.inode)
+                yield self.fs.close(self.inode)
+                point.done.succeed(None)
+            else:
+                yield point.done
+            return None
+
+        return self.env.process(_op(), name=f"mpiio.r{self.ctx.rank}.close")
+
+    def close_self(self) -> Event:
+        """Independent close (COMM_SELF files)."""
+
+        def _op():
+            yield self.fs.fsync(self.inode)
+            yield self.fs.close(self.inode)
+            return None
+
+        return self.env.process(_op(), name=f"mpiio.r{self.ctx.rank}.close")
+
+    @property
+    def size(self) -> int:
+        return self.inode.size
+
+    def _trace(self, req: IORequest, t0: float, collective: bool) -> None:
+        if self.ctx.world.tracer is not None:
+            from ..tracing.events import IOEvent
+
+            self.ctx.trace(
+                IOEvent(
+                    rank=self.ctx.rank,
+                    op=req.op,
+                    offset=req.offset,
+                    nbytes=req.nbytes,
+                    count=req.count,
+                    stride=req.stride,
+                    t_start=t0,
+                    t_end=self.env.now,
+                    path=self.path,
+                    collective=collective,
+                )
+            )
+
+
+def _two_phase(world, mfile: MPIFile, op: str, reqs: dict[int, IORequest]):
+    """ROMIO's generalised two-phase collective buffering.
+
+    ``reqs`` maps rank -> its request.  Aggregators own contiguous file
+    domains; the exchange phase moves every rank's bytes to/from the
+    owning aggregators over the communication network, the I/O phase
+    moves whole domains through the filesystem.
+    """
+    env = world.env
+    hints = mfile.hints
+    from ..iolib.aggregation import select_aggregators
+
+    aggs = select_aggregators([world.node_of(r).name for r in range(world.nprocs)], hints.cb_nodes)
+    nagg = len(aggs)
+
+    active = {r: q for r, q in reqs.items() if q.total_bytes > 0}
+    if not active:
+        return 0
+    lo = min(q.offset for q in active.values())
+    hi = max(q.offset + q.span for q in active.values())
+    span = hi - lo
+    total = sum(q.total_bytes for q in active.values())
+
+    # --- exchange phase -----------------------------------------------------
+    # Interleaved decompositions spread each rank's bytes roughly evenly
+    # over the aggregator domains.
+    net = world.cluster.comm_network
+    evs = []
+    for r, q in active.items():
+        share = q.total_bytes // nagg
+        for a in aggs:
+            if world.node_of(r) is world.node_of(a):
+                continue  # node-local exchange is a memcpy, charged below
+            if (op == "write") and share:
+                evs.append(net.transfer(world.node_of(r).name, world.node_of(a).name, share))
+    if op == "write" and evs:
+        yield env.all_of(evs)
+
+    # collective buffer packing at the aggregators
+    pack = world.node_of(aggs[0]).memcpy_time(total // nagg)
+    yield env.timeout(pack)
+
+    # --- I/O phase ------------------------------------------------------------
+    # File domains cover only the bytes actually requested (ROMIO
+    # computes the union of the requests): a segmented pattern with
+    # holes does not write the holes.  Domains are spread over the span
+    # so aggregators hit disjoint file regions.
+    covered = min(total, span)
+    domain_stride = span // nagg
+    domain = covered // nagg
+    io_evs = []
+    for i, a in enumerate(aggs):
+        off = lo + i * domain_stride
+        length = domain if i < nagg - 1 else covered - domain * (nagg - 1)
+        if length <= 0:
+            continue
+        actx = world.ranks[a]
+        afs = actx.node.vfs.resolve(mfile.path)
+        io_evs.append(afs.submit_direct(mfile.inode, IORequest(op, off, length)))
+    if io_evs:
+        yield env.all_of(io_evs)
+
+    # --- read scatter ------------------------------------------------------------
+    if op == "read":
+        evs = []
+        for r, q in active.items():
+            share = q.total_bytes // nagg
+            for a in aggs:
+                if world.node_of(r) is world.node_of(a):
+                    continue
+                if share:
+                    evs.append(
+                        net.transfer(world.node_of(a).name, world.node_of(r).name, share)
+                    )
+        if evs:
+            yield env.all_of(evs)
+    return total
+
+
+def open_collective(ctx: RankContext, path: str, mode: str = "r") -> Event:
+    """MPI_File_open on COMM_WORLD."""
+
+    def _op():
+        world = ctx.world
+        hints = IOHints.from_dict(world.io_hints)
+        point, last = world.rendezvous.arrive(f"fopen:{path}", ctx.rank, mode)
+        if last:
+            yield point.all_arrived
+            # one rank performs the create/truncate
+            fs0 = world.ranks[0].node.vfs.resolve(path)
+            if "w" in mode or not fs0.exists(path):
+                inode = yield fs0.create(path)
+            else:
+                inode = yield fs0.open(path)
+            point.done.succeed(inode)
+        else:
+            inode = yield point.done
+        fs = ctx.node.vfs.resolve(path)
+        if not fs.exists(path):
+            # distinct per-node local filesystems: materialise the file
+            inode = yield fs.create(path)
+        return MPIFile(ctx, path, inode, fs, hints)
+
+    return ctx.env.process(_op(), name=f"mpiio.r{ctx.rank}.open")
+
+
+def open_self(ctx: RankContext, path: str, mode: str = "r") -> Event:
+    """MPI_File_open on COMM_SELF (unique file per process)."""
+
+    def _op():
+        hints = IOHints.from_dict(ctx.world.io_hints)
+        fs = ctx.node.vfs.resolve(path)
+        if "w" in mode or not fs.exists(path):
+            inode = yield fs.create(path)
+        else:
+            inode = yield fs.open(path)
+        return MPIFile(ctx, path, inode, fs, hints)
+
+    return ctx.env.process(_op(), name=f"mpiio.r{ctx.rank}.open_self")

@@ -1,0 +1,266 @@
+"""Simulated MPI: world, ranks, point-to-point and rendezvous machinery.
+
+A *program* is a generator function ``prog(mpi)`` executed once per
+rank as a DES process; ``mpi`` is that rank's :class:`RankContext`,
+exposing a deliberately mpi4py-flavoured API (``send``/``recv``/
+``barrier``/``bcast``/... and :meth:`RankContext.file_open` for
+MPI-IO).  Messages move over the cluster's *communication* network;
+file data moves over its *data* network (or the same one, when the
+cluster is configured with a single shared fabric — one of the
+paper's configurable factors).
+
+Collective calls synchronise through a per-communicator
+:class:`Rendezvous`: SPMD programs reach collective call sites in the
+same order, so each site gets a sequence number; the last rank to
+arrive executes the cost model and releases everyone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from ..simengine import Environment, Event, Store
+from ..hardware.node import Cluster, Node
+
+__all__ = ["MPIWorld", "RankContext", "Rendezvous"]
+
+#: bytes of an eager-protocol envelope
+_ENVELOPE = 64
+
+
+@dataclass
+class _Point:
+    """One collective call site: arrival barrier + completion."""
+
+    all_arrived: Event
+    done: Event
+    data: dict[int, Any] = field(default_factory=dict)
+    arrivals: int = 0
+
+
+class Rendezvous:
+    """Sequence-numbered meeting points for collective operations."""
+
+    def __init__(self, env: Environment, nprocs: int):
+        self.env = env
+        self.nprocs = nprocs
+        self._points: dict[tuple[str, int], _Point] = {}
+        self._counters: dict[tuple[str, int], int] = {}
+
+    def arrive(self, kind: str, rank: int, data: Any = None) -> tuple[_Point, bool]:
+        """Join the next ``kind`` call site for this rank.
+
+        Returns ``(point, is_last)``; the last arriver must run the
+        operation and trigger ``point.done``.
+        """
+        seq = self._counters.get((kind, rank), 0)
+        self._counters[(kind, rank)] = seq + 1
+        key = (kind, seq)
+        point = self._points.get(key)
+        if point is None:
+            point = _Point(all_arrived=self.env.event(), done=self.env.event())
+            self._points[key] = point
+        point.data[rank] = data
+        point.arrivals += 1
+        last = point.arrivals == self.nprocs
+        if last:
+            point.all_arrived.succeed(point.data)
+            del self._points[key]
+        return point, last
+
+
+class RankContext:
+    """The MPI API handed to a rank's program generator."""
+
+    def __init__(self, world: "MPIWorld", rank: int, node: Node):
+        self.world = world
+        self.rank = rank
+        self.node = node
+        self.env = world.env
+        self._mailboxes: dict[tuple[int, int], Store] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.world.nprocs
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def _mailbox(self, src: int, tag: int) -> Store:
+        key = (src, tag)
+        box = self._mailboxes.get(key)
+        if box is None:
+            box = Store(self.env, name=f"r{self.rank}.mbox{key}")
+            self._mailboxes[key] = box
+        return box
+
+    # -- compute -----------------------------------------------------------
+    def compute(self, seconds: float = 0.0, flops: float = 0.0) -> Event:
+        """Busy-work: occupy simulated time (and implicitly one core)."""
+        t = seconds + (self.node.compute_time(flops) if flops else 0.0)
+        return self.env.timeout(t)
+
+    # -- point-to-point -------------------------------------------------------
+    def isend(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None) -> Event:
+        """Non-blocking send; the event fires when the message is delivered."""
+        if not 0 <= dst < self.size:
+            raise ValueError(f"bad destination rank {dst}")
+        return self.env.process(
+            self._send(dst, nbytes, tag, payload), name=f"r{self.rank}.send"
+        )
+
+    def send(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None) -> Event:
+        """Blocking send (same completion semantics under eager protocol)."""
+        return self.isend(dst, nbytes, tag, payload)
+
+    def _send(self, dst, nbytes, tag, payload):
+        net = self.world.cluster.comm_network
+        dst_node = self.world.ranks[dst].node
+        yield net.transfer(self.node.name, dst_node.name, nbytes + _ENVELOPE)
+        yield self.world.ranks[dst]._mailbox(self.rank, tag).put((nbytes, payload))
+        return nbytes
+
+    def recv(self, src: int, tag: int = 0) -> Event:
+        """Receive; event value is the message payload."""
+
+        def _op():
+            nbytes, payload = yield self._mailbox(src, tag).get()
+            return payload
+
+        return self.env.process(_op(), name=f"r{self.rank}.recv")
+
+    # -- collectives (cost models live in collectives.py) ---------------------
+    def barrier(self) -> Event:
+        from .collectives import barrier
+
+        return self._collective("barrier", None, barrier)
+
+    def bcast(self, root: int, nbytes: int, payload: Any = None) -> Event:
+        from .collectives import bcast
+
+        data = payload if self.rank == root else None
+        return self._collective("bcast", (root, nbytes, data), bcast)
+
+    def reduce(self, root: int, nbytes: int) -> Event:
+        from .collectives import reduce as _reduce
+
+        return self._collective("reduce", (root, nbytes), _reduce)
+
+    def allreduce(self, nbytes: int) -> Event:
+        from .collectives import allreduce
+
+        return self._collective("allreduce", nbytes, allreduce)
+
+    def gather(self, root: int, nbytes: int) -> Event:
+        from .collectives import gather
+
+        return self._collective("gather", (root, nbytes), gather)
+
+    def allgather(self, nbytes: int) -> Event:
+        from .collectives import allgather
+
+        return self._collective("allgather", nbytes, allgather)
+
+    def alltoall(self, nbytes_per_pair: int) -> Event:
+        from .collectives import alltoall
+
+        return self._collective("alltoall", nbytes_per_pair, alltoall)
+
+    def _collective(self, kind: str, data: Any, algorithm) -> Event:
+        def _op():
+            point, last = self.world.rendezvous.arrive(kind, self.rank, data)
+            if last:
+                args = yield point.all_arrived
+                result = yield self.env.process(
+                    algorithm(self.world, args), name=f"coll.{kind}"
+                )
+                point.done.succeed(result)
+                return result
+            result = yield point.done
+            return result
+
+        return self.env.process(_op(), name=f"r{self.rank}.{kind}")
+
+    # -- MPI-IO -----------------------------------------------------------------
+    def file_open(self, path: str, mode: str = "r") -> Event:
+        """Collective file open; event value is this rank's
+        :class:`~repro.mpi.io.MPIFile`."""
+        from .io import open_collective
+
+        return open_collective(self, path, mode)
+
+    def file_open_self(self, path: str, mode: str = "r") -> Event:
+        """COMM_SELF open: an independent, per-process file."""
+        from .io import open_self
+
+        return open_self(self, path, mode)
+
+    # -- tracing hook -------------------------------------------------------------
+    def trace(self, record) -> None:
+        if self.world.tracer is not None:
+            self.world.tracer.record(self.rank, record)
+
+
+class MPIWorld:
+    """``nprocs`` ranks placed over a cluster's compute nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        nprocs: int,
+        placement: str = "block",
+        tracer=None,
+        io_hints: Optional[dict[str, Any]] = None,
+    ):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if cluster.comm_network is None:
+            raise ValueError("cluster has no networks attached")
+        self.env = env
+        self.cluster = cluster
+        self.nprocs = nprocs
+        self.tracer = tracer
+        self.io_hints = dict(io_hints or {})
+        nodes = cluster.compute_nodes()
+        if not nodes:
+            raise ValueError("cluster has no compute nodes")
+        self.ranks: list[RankContext] = []
+        for r in range(nprocs):
+            if placement == "block":
+                per = (nprocs + len(nodes) - 1) // len(nodes)
+                node = nodes[min(r // per, len(nodes) - 1)]
+            elif placement == "round_robin":
+                node = nodes[r % len(nodes)]
+            else:
+                raise ValueError(f"unknown placement {placement!r}")
+            self.ranks.append(RankContext(self, r, node))
+        self.rendezvous = Rendezvous(env, nprocs)
+        #: shared MPI-IO state (files by path)
+        self.files: dict[str, Any] = {}
+
+    def node_of(self, rank: int) -> Node:
+        return self.ranks[rank].node
+
+    def aggregator_ranks(self) -> list[int]:
+        """Default ROMIO ``cb_nodes``: the lowest rank on each node."""
+        seen: dict[str, int] = {}
+        for r, ctx in enumerate(self.ranks):
+            seen.setdefault(ctx.node.name, r)
+        return sorted(seen.values())
+
+    def run_program(
+        self, program: Callable[[RankContext], Generator], name: str = "mpi"
+    ) -> Event:
+        """Launch ``program`` on every rank; fires when all ranks return.
+
+        Value is the list of per-rank return values.
+        """
+        procs = [
+            self.env.process(program(ctx), name=f"{name}.r{ctx.rank}")
+            for ctx in self.ranks
+        ]
+        return self.env.all_of(procs)

@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel used by every substrate in repro."""
+
+from .core import AllOf, AnyOf, Environment, Event, Process, SimulationError, Timeout
+from .resources import Container, PriorityResource, Request, Resource, Store
+from .rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Container",
+    "PriorityResource",
+    "Request",
+    "Resource",
+    "Store",
+    "RngRegistry",
+]

@@ -1,0 +1,380 @@
+"""Discrete-event simulation kernel.
+
+Everything in :mod:`repro` runs on this kernel: disks, networks,
+filesystems and MPI ranks are *processes* (Python generators) that
+yield events to an :class:`Environment`.  The design follows the
+classic process-interaction style (as popularised by SimPy) but is
+self-contained, deterministic, and tuned for the access patterns this
+project needs:
+
+* a binary-heap event calendar keyed on ``(time, priority, seq)`` so
+  same-time events fire in schedule order — simulations are exactly
+  reproducible run-to-run;
+* generator-based processes with ``yield env.timeout(dt)``,
+  ``yield other_event`` and combinators :class:`AllOf` / :class:`AnyOf`;
+* failure propagation: an event failed with an exception re-raises the
+  exception inside every waiting process.
+
+Simulated time is a ``float`` in **seconds**.  Wall-clock time never
+enters the simulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. triggering an event twice)."""
+
+
+PENDING = object()  #: sentinel value of an untriggered event
+
+
+class Event:
+    """A happening that processes can wait for.
+
+    An event starts *pending*; it is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, at which point it is scheduled on
+    the calendar and, when processed, runs its callbacks (resuming any
+    processes that yielded it).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._scheduled = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = 1) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = 1) -> "Event":
+        """Trigger the event with an exception.
+
+        Every process waiting on the event will see ``exception`` raised
+        at its ``yield`` statement.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self._value is PENDING else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule_at(self, env.now + delay, priority=1)
+
+
+class Initialize(Event):
+    """Internal: first resume of a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule_at(self, env.now, priority=0)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The value of the event is the generator's return value; if the
+    generator raises, the process event fails with that exception and
+    the exception propagates to any process waiting on it (or crashes
+    the simulation if nobody is waiting).
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    target = self.generator.send(event._value)
+                else:
+                    target = self.generator.throw(event._value)
+            except StopIteration as exc:
+                self.env._active_process = None
+                self.succeed(exc.value)
+                return
+            except BaseException as exc:
+                self.env._active_process = None
+                if not self._failure_handled(exc):
+                    raise
+                return
+
+            if not isinstance(target, Event):
+                self.env._active_process = None
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+                self.generator.throw(exc)
+                raise exc
+            if target.callbacks is not None:
+                # Target still pending or scheduled: wait for it.
+                target.callbacks.append(self._resume)
+                self._target = target
+                self.env._active_process = None
+                return
+            # Target already processed: resume immediately with its value.
+            event = target
+
+    def _failure_handled(self, exc: BaseException) -> bool:
+        """Fail this process event; return True if somebody is waiting."""
+        self._ok = False
+        self._value = exc
+        self.env._schedule(self, priority=1)
+        return bool(self.callbacks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class AllOf(Event):
+    """Fires when *all* given events have fired; value is a list of values.
+
+    Fails fast if any constituent fails.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = 0
+        for ev in self._events:
+            if ev.callbacks is None:
+                if not ev._ok:
+                    # Already failed: mirror the failure immediately.
+                    self.fail(ev._value)
+                    return
+                continue
+            self._remaining += 1
+            ev.callbacks.append(self._on_child)
+        if self._remaining == 0 and self._value is PENDING:
+            self.succeed([ev._value for ev in self._events])
+
+    def _on_child(self, ev: Event) -> None:
+        if self._value is not PENDING:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class AnyOf(Event):
+    """Fires when the *first* of the given events fires; value is that value."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf requires at least one event")
+        done = [ev for ev in self._events if ev.callbacks is None]
+        if done:
+            first = done[0]
+            if first._ok:
+                self.succeed(first._value)
+            else:
+                self.fail(first._value)
+            return
+        for ev in self._events:
+            ev.callbacks.append(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._value is not PENDING:
+            return
+        if ev._ok:
+            self.succeed(ev._value)
+        else:
+            self.fail(ev._value)
+
+
+class Environment:
+    """The simulation clock and event calendar."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event construction ----------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event; trigger it with ``.succeed()``/``.fail()``."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = 1) -> None:
+        self._schedule_at(event, self._now, priority)
+
+    def _schedule_at(self, event: Event, when: float, priority: int = 1) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (when, priority, self._seq, event))
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event on the calendar."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not callbacks and not isinstance(event, Process):
+            # A failed event nobody waited for: surface the error.
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to calendar exhaustion), a time
+        (run until the clock reaches it), or an :class:`Event` (run until
+        it fires; its value is returned).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError("cannot run until a time in the past")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_time is not None and self._queue[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) exhausted the calendar before the event fired"
+                )
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if stop_time is not None:
+            self._now = stop_time
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")

@@ -1,0 +1,223 @@
+"""Shared-resource primitives for the DES kernel.
+
+These model the contention points of an I/O system: a disk head, a
+network link, an NFS server thread pool.  All are FIFO (or priority
+FIFO) and deterministic.
+
+* :class:`Resource` — ``capacity`` slots; processes ``yield res.request()``
+  and must release (or use :meth:`Resource.using` inside a process).
+* :class:`PriorityResource` — like Resource but requests carry a
+  priority (lower value served first).
+* :class:`Container` — a lumped continuous quantity (e.g. bytes of
+  cache space) with ``put``/``get``.
+* :class:`Store` — a FIFO queue of Python objects between processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Request", "Resource", "PriorityResource", "Container", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Fires when the slot is granted.  Must be released exactly once via
+    :meth:`Resource.release`.
+    """
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._order += 1
+        self._order = resource._order
+
+
+class Resource:
+    """A counted resource with FIFO queueing."""
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+        self._order = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        req = Request(self, priority)
+        if len(self.users) < self.capacity and not self.queue:
+            self.users.append(req)
+            req.succeed(req)
+        else:
+            self._enqueue(req)
+        return req
+
+    def _enqueue(self, req: Request) -> None:
+        self.queue.append(req)
+
+    def release(self, req: Request) -> None:
+        """Give the slot back and wake the next waiter."""
+        try:
+            self.users.remove(req)
+        except ValueError:
+            raise SimulationError("releasing a request that is not held") from None
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self._pop_next()
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+    def _pop_next(self) -> Request:
+        return self.queue.pop(0)
+
+    def using(self, hold: float, priority: int = 0) -> Generator:
+        """Generator helper: acquire, hold for ``hold`` seconds, release.
+
+        Usage inside a process::
+
+            yield from resource.using(0.01)
+        """
+        req = self.request(priority)
+        yield req
+        try:
+            yield self.env.timeout(hold)
+        finally:
+            self.release(req)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<{type(self).__name__} {self.name!r} {len(self.users)}/{self.capacity}"
+            f" queued={len(self.queue)}>"
+        )
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is ordered by (priority, arrival order)."""
+
+    def _pop_next(self) -> Request:
+        best = min(range(len(self.queue)), key=lambda i: (self.queue[i].priority, self.queue[i]._order))
+        return self.queue.pop(best)
+
+
+class Container:
+    """A continuous quantity with blocking ``get`` and capacity-bounded ``put``."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        name: str = "",
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._level = init
+        self._getters: list[tuple[float, Event]] = []
+        self._putters: list[tuple[float, Event]] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; blocks (pending event) while it would overflow."""
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event(self.env)
+        self._putters.append((amount, ev))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; blocks while the level is insufficient."""
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event(self.env)
+        self._getters.append((amount, ev))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, ev = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.pop(0)
+                    ev.succeed(amount)
+                    progressed = True
+            if self._getters:
+                amount, ev = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.pop(0)
+                    ev.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """A FIFO object queue with blocking ``get`` and optional capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"), name: str = ""):
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[tuple[Any, Event]] = []
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.env)
+        self._putters.append((item, ev))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.env)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            item, ev = self._putters.pop(0)
+            self.items.append(item)
+            ev.succeed(item)
+        while self._getters and self.items:
+            ev = self._getters.pop(0)
+            ev.succeed(self.items.pop(0))
+        # putters may have been unblocked by the getters draining items
+        while self._putters and len(self.items) < self.capacity:
+            item, ev = self._putters.pop(0)
+            self.items.append(item)
+            ev.succeed(item)
+            while self._getters and self.items:
+                g = self._getters.pop(0)
+                g.succeed(self.items.pop(0))
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -1,0 +1,28 @@
+"""Storage stack: page cache, local filesystem, NFS, VFS."""
+
+from .base import AccessMode, AccessType, IORequest, classify_mode, KiB, MiB, GiB
+from .cache import CacheSpec, CacheStats, PageCache
+from .localfs import Inode, LocalFS, LocalFSSpec
+from .nfs import NFSMount, NFSServer, NFSSpec
+from .vfs import FileHandle, VFS
+
+__all__ = [
+    "AccessMode",
+    "AccessType",
+    "IORequest",
+    "classify_mode",
+    "KiB",
+    "MiB",
+    "GiB",
+    "CacheSpec",
+    "CacheStats",
+    "PageCache",
+    "Inode",
+    "LocalFS",
+    "LocalFSSpec",
+    "NFSMount",
+    "NFSServer",
+    "NFSSpec",
+    "FileHandle",
+    "VFS",
+]

@@ -1,0 +1,220 @@
+"""OS page-cache model.
+
+Tracks residency and dirtiness of file data at *segment* granularity
+(default 1 MiB) with LRU replacement.  Each resident segment carries a
+count of **dirty bytes**, so the flush cost of a sparsely-dirtied
+segment (a few 4 KiB pages scattered in it) differs from a fully
+dirty one — sparse write streams therefore throttle at the device's
+random-write rate while dense streams throttle at its sequential
+rate, with no workload-specific special cases.
+
+The cache itself is pure bookkeeping — it advances no simulated time;
+the owning filesystem charges memcpy costs and performs the
+write-back I/O for the dirty victims that eviction hands back.
+
+"State and placement of buffer/cache" is one of the paper's
+configurable factors: the same class serves as the local filesystem's
+page cache, the NFS client cache and the NFS server cache, sized by
+each node's RAM.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .base import MiB
+
+__all__ = ["CacheSpec", "PageCache", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Sizing and write-back policy of a page cache."""
+
+    capacity_bytes: int
+    segment_bytes: int = 1 * MiB
+    #: writers are throttled while dirty bytes exceed this fraction
+    dirty_ratio: float = 0.40
+    #: background write-back starts above this fraction
+    background_ratio: float = 0.10
+    write_back: bool = True
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0 or self.segment_bytes <= 0:
+            raise ValueError("capacity and segment size must be positive")
+        if not 0.0 < self.background_ratio <= self.dirty_ratio <= 1.0:
+            raise ValueError("need 0 < background_ratio <= dirty_ratio <= 1")
+
+    @property
+    def nsegments(self) -> int:
+        return max(1, self.capacity_bytes // self.segment_bytes)
+
+    @property
+    def dirty_limit_bytes(self) -> int:
+        return int(self.capacity_bytes * self.dirty_ratio)
+
+    @property
+    def background_limit_bytes(self) -> int:
+        return int(self.capacity_bytes * self.background_ratio)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PageCache:
+    """LRU segment cache over (file-id, segment-number) keys."""
+
+    def __init__(self, spec: CacheSpec, name: str = "pagecache"):
+        self.spec = spec
+        self.name = name
+        # key -> dirty byte count (0 == clean); order == recency (last = MRU)
+        self._segs: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self._dirty_total = 0
+        self._file_resident: dict[int, int] = {}  # fileid -> resident seg count
+        self.stats = CacheStats()
+
+    # -- geometry helpers -------------------------------------------------
+    def segments_of(self, offset: int, nbytes: int) -> range:
+        """Segment numbers covering the byte range."""
+        sb = self.spec.segment_bytes
+        if nbytes <= 0:
+            return range(0)
+        return range(offset // sb, (offset + nbytes - 1) // sb + 1)
+
+    # -- state queries -----------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._segs) * self.spec.segment_bytes
+
+    @property
+    def dirty_bytes(self) -> int:
+        return self._dirty_total
+
+    @property
+    def need_throttle(self) -> bool:
+        return self._dirty_total > self.spec.dirty_limit_bytes
+
+    @property
+    def need_background_flush(self) -> bool:
+        return self._dirty_total > self.spec.background_limit_bytes
+
+    def is_resident(self, fileid: int, seg: int) -> bool:
+        return (fileid, seg) in self._segs
+
+    def dirty_amount(self, fileid: int, seg: int) -> int:
+        return self._segs.get((fileid, seg), 0)
+
+    def file_resident_segments(self, fileid: int) -> int:
+        return self._file_resident.get(fileid, 0)
+
+    def file_fully_resident(self, fileid: int, file_bytes: int) -> bool:
+        """True when every segment of the file is cached."""
+        sb = self.spec.segment_bytes
+        nsegs = (file_bytes + sb - 1) // sb
+        return nsegs > 0 and self.file_resident_segments(fileid) >= nsegs
+
+    # -- mutation -----------------------------------------------------------
+    def touch(self, fileid: int, seg: int) -> bool:
+        """Record an access; returns True on hit (and refreshes LRU)."""
+        key = (fileid, seg)
+        if key in self._segs:
+            self._segs.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def insert(
+        self, fileid: int, seg: int, dirty_bytes: int = 0
+    ) -> list[tuple[int, int, int]]:
+        """Make a segment resident with ``dirty_bytes`` newly dirty.
+
+        Returns evicted dirty victims as ``(fileid, seg, dirty_bytes)``
+        tuples; the caller must write those back to the backing store
+        (and charge the time for it).  Clean victims vanish silently.
+        """
+        sb = self.spec.segment_bytes
+        dirty_bytes = min(dirty_bytes, sb)
+        key = (fileid, seg)
+        victims: list[tuple[int, int, int]] = []
+        if key in self._segs:
+            old = self._segs[key]
+            new = min(old + dirty_bytes, sb)
+            self._segs[key] = new
+            self._dirty_total += new - old
+            self._segs.move_to_end(key)
+            return victims
+        while len(self._segs) >= self.spec.nsegments:
+            (vfile, vseg), vdirty = self._segs.popitem(last=False)
+            self._file_resident[vfile] -= 1
+            self.stats.evictions += 1
+            if vdirty:
+                self._dirty_total -= vdirty
+                self.stats.dirty_evictions += 1
+                victims.append((vfile, vseg, vdirty))
+        self._segs[key] = dirty_bytes
+        self._dirty_total += dirty_bytes
+        self._file_resident[fileid] = self._file_resident.get(fileid, 0) + 1
+        return victims
+
+    def mark_clean(self, fileid: int, seg: int) -> None:
+        key = (fileid, seg)
+        amount = self._segs.get(key, 0)
+        if amount:
+            self._segs[key] = 0
+            self._dirty_total -= amount
+
+    def dirty_segments(
+        self, limit: int | None = None, fileid: int | None = None
+    ) -> list[tuple[int, int, int]]:
+        """Oldest-first dirty entries ``(fileid, seg, dirty_bytes)``."""
+        out = []
+        for (f, s), dirty in self._segs.items():
+            if dirty and (fileid is None or f == fileid):
+                out.append((f, s, dirty))
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+    def drop_file(self, fileid: int) -> int:
+        """Invalidate every segment of a file (unlink); returns count dropped."""
+        keys = [k for k in self._segs if k[0] == fileid]
+        for k in keys:
+            self._dirty_total -= self._segs.pop(k)
+        if fileid in self._file_resident:
+            self._file_resident[fileid] = 0
+        return len(keys)
+
+    @staticmethod
+    def coalesce(
+        entries: Iterable[tuple[int, int, int]]
+    ) -> Iterator[tuple[int, int, int, int]]:
+        """Group ``(fileid, seg, dirty)`` into runs.
+
+        Yields ``(fileid, first_seg, nsegs, dirty_bytes_in_run)``;
+        adjacent segments of the same file merge so write-back can issue
+        large contiguous device writes when the run is densely dirty.
+        """
+        run_file = run_start = run_len = run_dirty = None
+        for fileid, seg, dirty in sorted(entries):
+            if run_file == fileid and seg == run_start + run_len:
+                run_len += 1
+                run_dirty += dirty
+            else:
+                if run_file is not None:
+                    yield (run_file, run_start, run_len, run_dirty)
+                run_file, run_start, run_len, run_dirty = fileid, seg, 1, dirty
+        if run_file is not None:
+            yield (run_file, run_start, run_len, run_dirty)

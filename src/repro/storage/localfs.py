@@ -1,0 +1,458 @@
+"""Local (ext4-like) filesystem on top of a block array.
+
+This is the "devices / local filesystem" level of the paper's I/O
+path.  It combines:
+
+* an extent-based allocator (files are laid out in large contiguous
+  extents, as ext4's delayed allocation achieves in practice);
+* the node's :class:`~repro.storage.cache.PageCache` with write-back,
+  background flushing, dirty throttling and filesystem readahead;
+* per-operation syscall and memcpy CPU costs;
+* journalled metadata operations (create/unlink pay a journal write).
+
+Writes are absorbed by the page cache and reach the device through
+write-back.  Because the cache tracks *dirty bytes per segment*, the
+flush cost of a sparsely-dirtied region degenerates to random
+page-sized device writes while dense regions flush as large
+sequential writes — so a small-strided workload throttles at the
+array's random-write rate and a streaming one at its sequential rate,
+with no per-workload special cases.  Reads miss to the device in
+coalesced runs extended by a readahead window; files that are fully
+resident are served from memory regardless of access pattern (the
+effect behind the paper's >100% "used percentage" entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simengine import Environment, Event
+from ..hardware.node import Node
+from ..hardware.raid import RAIDArray
+from .base import IORequest, KiB, MiB
+from .cache import CacheSpec, PageCache
+
+__all__ = ["LocalFSSpec", "Inode", "LocalFS"]
+
+
+@dataclass(frozen=True)
+class LocalFSSpec:
+    """Cost parameters of the filesystem implementation."""
+
+    syscall_s: float = 1.4e-6  # per read()/write() entry
+    open_s: float = 45e-6
+    create_s: float = 220e-6  # includes journal record
+    close_s: float = 15e-6
+    unlink_s: float = 260e-6
+    min_io_bytes: int = 4 * KiB  # page-granular device I/O
+    readahead_bytes: int = 1 * MiB  # sequential readahead window
+    extent_bytes: int = 8 * MiB  # allocation granularity
+    journal_write_bytes: int = 8 * KiB
+    #: fraction of node RAM available to the page cache
+    cache_fraction: float = 0.85
+    #: a flush run at least this dense writes the whole run sequentially
+    dense_flush_threshold: float = 0.5
+
+
+@dataclass
+class Inode:
+    """Namespace entry; data extents map file offsets to device offsets."""
+
+    fileid: int
+    path: str
+    size: int = 0
+    nlink: int = 1
+    # extents: (file_offset, device_offset, length)
+    extents: list[tuple[int, int, int]] = field(default_factory=list)
+
+    def allocated_bytes(self) -> int:
+        return sum(e[2] for e in self.extents)
+
+    def device_offset(self, file_offset: int) -> int:
+        """Device byte address backing ``file_offset``."""
+        for fo, do, ln in self.extents:
+            if fo <= file_offset < fo + ln:
+                return do + (file_offset - fo)
+        raise KeyError(f"offset {file_offset} beyond allocation of {self.path!r}")
+
+
+@dataclass
+class FSStats:
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    opens: int = 0
+    creates: int = 0
+    flush_runs: int = 0
+
+
+class LocalFS:
+    """A mounted local filesystem instance on one node."""
+
+    FLUSH_BATCH_SEGS = 64
+    #: sparse requests touching more segments than this many cache
+    #: capacities are charged arithmetically instead of per-segment
+    OVERFLOW_FACTOR = 4
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        array: RAIDArray,
+        spec: LocalFSSpec | None = None,
+        cache_spec: CacheSpec | None = None,
+        name: str = "localfs",
+    ):
+        self.env = env
+        self.node = node
+        self.array = array
+        self.spec = spec or LocalFSSpec()
+        if cache_spec is None:
+            cache_spec = CacheSpec(
+                capacity_bytes=int(node.spec.ram_bytes * self.spec.cache_fraction)
+            )
+        self.cache = PageCache(cache_spec, name=f"{name}.cache")
+        self.name = name
+        self.stats = FSStats()
+        self._inodes: dict[str, Inode] = {}
+        self._by_id: dict[int, Inode] = {}
+        self._next_fileid = 1
+        self._alloc_cursor = 0
+        self._flusher_running = False
+        self._flush_waiters: list[Event] = []
+        self._inode_locks: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # namespace operations (each returns an Event)
+    # ------------------------------------------------------------------
+    def create(self, path: str) -> Event:
+        """Create (or truncate) a file; value is the :class:`Inode`."""
+        return self.env.process(self._create(path), name=f"{self.name}.create")
+
+    def _create(self, path):
+        yield self.env.timeout(self.spec.create_s)
+        yield self.array.submit(
+            "write", self._journal_offset(), self.spec.journal_write_bytes
+        )
+        inode = self._inodes.get(path)
+        if inode is None:
+            inode = Inode(self._next_fileid, path)
+            self._next_fileid += 1
+            self._inodes[path] = inode
+            self._by_id[inode.fileid] = inode
+        else:
+            inode.size = 0
+            self.cache.drop_file(inode.fileid)
+        self.stats.creates += 1
+        return inode
+
+    def open(self, path: str, create: bool = False) -> Event:
+        """Open an existing file; value is the :class:`Inode`."""
+        if path not in self._inodes:
+            if create:
+                return self.create(path)
+            raise FileNotFoundError(path)
+        inode = self._inodes[path]
+
+        def _op():
+            yield self.env.timeout(self.spec.open_s)
+            self.stats.opens += 1
+            return inode
+
+        return self.env.process(_op(), name=f"{self.name}.open")
+
+    def close(self, inode: Inode) -> Event:
+        return self.env.timeout(self.spec.close_s, value=inode)
+
+    def unlink(self, path: str) -> Event:
+        inode = self._inodes.get(path)
+        if inode is None:
+            raise FileNotFoundError(path)
+
+        def _op():
+            yield self.env.timeout(self.spec.unlink_s)
+            yield self.array.submit(
+                "write", self._journal_offset(), self.spec.journal_write_bytes
+            )
+            self.cache.drop_file(inode.fileid)
+            del self._inodes[path]
+            del self._by_id[inode.fileid]
+            return None
+
+        return self.env.process(_op(), name=f"{self.name}.unlink")
+
+    def stat(self, path: str) -> Inode:
+        if path not in self._inodes:
+            raise FileNotFoundError(path)
+        return self._inodes[path]
+
+    def exists(self, path: str) -> bool:
+        return path in self._inodes
+
+    def paths(self) -> list[str]:
+        return list(self._inodes)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def submit(self, inode: Inode, req: IORequest) -> Event:
+        """Serve a data request; the event fires when it is *accepted*
+        (writes: resident in cache under write-back; reads: data
+        available in the caller's buffer)."""
+        if req.op == "write":
+            return self.env.process(self._write(inode, req), name=f"{self.name}.write")
+        return self.env.process(self._read(inode, req), name=f"{self.name}.read")
+
+    def submit_direct(self, inode: Inode, req: IORequest) -> Event:
+        """MPI-IO access path; on a local filesystem it is the normal
+        page-cached path (syscalls are already synchronous)."""
+        return self.submit(inode, req)
+
+    def submit_serialized_write(self, inode: Inode, req: IORequest, per_op_s: float) -> Event:
+        """Small synchronous writes under the per-inode mutex.
+
+        NFS servers serialise writes to one file on the inode mutex;
+        each operation additionally pays ``per_op_s`` of VFS/ext4
+        service time.  This is the server-side path of ROMIO-style
+        synchronous small strided writes (NAS BT-IO *simple*): the
+        data still lands in the page cache (and flushes normally), but
+        concurrent writers to a shared file make no aggregate progress
+        beyond ``1 / per_op_s`` operations per second.
+        """
+        if req.op != "write":
+            raise ValueError("submit_serialized_write is write-only")
+
+        def _op():
+            lock = self._inode_locks.get(inode.fileid)
+            if lock is None:
+                from ..simengine import Resource
+
+                lock = self._inode_locks[inode.fileid] = Resource(
+                    self.env, 1, name=f"{self.name}.ilock{inode.fileid}"
+                )
+            grant = lock.request()
+            yield grant
+            try:
+                yield self.env.timeout(req.count * per_op_s)
+                yield self.submit(inode, req)
+            finally:
+                lock.release(grant)
+            return req.total_bytes
+
+        return self.env.process(_op(), name=f"{self.name}.syncwrite")
+
+    def fsync(self, inode: Inode) -> Event:
+        """Flush the file's dirty segments to the device."""
+        return self.env.process(self._fsync(inode), name=f"{self.name}.fsync")
+
+    def sync(self) -> Event:
+        """Flush everything dirty and drain the array's cache."""
+        return self.env.process(self._sync_all(), name=f"{self.name}.sync")
+
+    # -- write -------------------------------------------------------------
+    def _dirty_plan(self, req: IORequest) -> tuple[list[tuple[int, int]], int]:
+        """(segment, dirty_bytes) contributions of a request, plus an
+        arithmetic overflow remainder in bytes for huge sparse streams."""
+        sb = self.cache.spec.segment_bytes
+        cap = self.OVERFLOW_FACTOR * self.cache.spec.nsegments
+        out: list[tuple[int, int]] = []
+        if req.is_dense:
+            start, span = req.offset, req.span
+            for seg in self.cache.segments_of(start, span):
+                lo = max(start, seg * sb)
+                hi = min(start + span, (seg + 1) * sb)
+                out.append((seg, hi - lo))
+            return out, 0
+        stride = req.effective_stride if req.stride != -1 else 7919 * self.spec.min_io_bytes
+        if stride < sb:
+            # Dirtiness spreads uniformly over the span.
+            segs = list(self.cache.segments_of(req.offset, req.span))
+            per = max(req.total_bytes // max(len(segs), 1), 1)
+            return [(s, per) for s in segs[:cap]], max(0, (len(segs) - cap)) * per
+        # One (partial) segment per operation.
+        n = min(req.count, cap)
+        segs = [(req.offset + k * stride) // sb for k in range(n)]
+        rem = (req.count - n) * req.nbytes
+        return [(s, req.nbytes) for s in segs], rem
+
+    def _write(self, inode, req: IORequest):
+        spec = self.spec
+        total = req.total_bytes
+        # CPU: syscalls + copy into the cache
+        yield self.env.timeout(req.count * spec.syscall_s + self.node.memcpy_time(total))
+        end = req.offset + req.span
+        self._ensure_allocation(inode, end)
+        self.stats.writes += req.count
+        self.stats.bytes_written += total
+
+        plan, overflow = self._dirty_plan(req)
+        for seg, dirty in plan:
+            if self.cache.need_throttle:
+                yield from self._throttle()
+            victims = self.cache.insert(
+                inode.fileid, seg, dirty if self.cache.spec.write_back else 0
+            )
+            if not self.cache.spec.write_back:
+                yield from self._flush_entries([(inode.fileid, seg, dirty)])
+            if victims:
+                yield from self._flush_entries(victims)
+        if overflow:
+            # Stream far larger than the cache: the excess hits the
+            # device directly at the pattern's natural rate.
+            nb = max(req.nbytes, spec.min_io_bytes)
+            dev = inode.device_offset(0)
+            yield self.array.submit("write", dev, nb, max(overflow // nb, 1), 7919 * nb, cached=False)
+        if self.cache.need_background_flush:
+            self._kick_flusher()
+        inode.size = max(inode.size, end)
+        return total
+
+    # -- read --------------------------------------------------------------
+    def _read(self, inode, req: IORequest):
+        spec = self.spec
+        total = req.total_bytes
+        yield self.env.timeout(req.count * spec.syscall_s + self.node.memcpy_time(total))
+        self.stats.reads += req.count
+        self.stats.bytes_read += total
+
+        if self.cache.file_fully_resident(inode.fileid, max(inode.size, 1)):
+            span = min(req.span, max(inode.size - req.offset, 0))
+            for seg in self.cache.segments_of(req.offset, span):
+                self.cache.touch(inode.fileid, seg)
+            return total
+        if req.is_dense:
+            yield from self._cached_read(inode, req)
+        else:
+            # Sparse cold reads: page-granular device I/O per operation.
+            nb = max(req.nbytes, spec.min_io_bytes)
+            dev = inode.device_offset(min(req.offset, max(inode.size - 1, 0)))
+            stride = req.effective_stride if req.stride != -1 else 7919 * spec.min_io_bytes
+            self.cache.stats.misses += req.count
+            yield self.array.submit("read", dev, nb, req.count, stride)
+        return total
+
+    def _cached_read(self, inode, req: IORequest):
+        sb = self.cache.spec.segment_bytes
+        span = min(req.span, max(inode.size - req.offset, 0))
+        segs = list(self.cache.segments_of(req.offset, span))
+        miss_run: list[int] = []
+        for seg in segs:
+            if self.cache.touch(inode.fileid, seg):
+                if miss_run:
+                    yield from self._fill(inode, miss_run)
+                    miss_run = []
+            else:
+                miss_run.append(seg)
+        if miss_run:
+            # sequential tail: extend by the readahead window
+            ra_extra = self.spec.readahead_bytes // sb
+            last = miss_run[-1]
+            file_last_seg = max((inode.size - 1) // sb, 0)
+            for k in range(1, ra_extra + 1):
+                if last + k <= file_last_seg:
+                    miss_run.append(last + k)
+            yield from self._fill(inode, miss_run)
+
+    def _fill(self, inode, segs: list[int]):
+        """Read missing segments from the device and make them resident."""
+        sb = self.cache.spec.segment_bytes
+        for fileid, first, nsegs, _d in PageCache.coalesce(
+            (inode.fileid, s, 0) for s in segs
+        ):
+            off = first * sb
+            length = min(nsegs * sb, max(inode.size - off, sb))
+            self._ensure_allocation(inode, off + length)
+            dev = inode.device_offset(off)
+            yield self.array.submit("read", dev, length)
+            for s in range(first, first + nsegs):
+                victims = self.cache.insert(fileid, s, 0)
+                if victims:
+                    yield from self._flush_entries(victims)
+
+    # -- write-back machinery ------------------------------------------------
+    def _journal_offset(self) -> int:
+        # fixed journal region at the tail of the device
+        return max(self.array.capacity_bytes - 128 * MiB, 0)
+
+    def _ensure_allocation(self, inode: Inode, upto: int) -> None:
+        have = inode.allocated_bytes()
+        if upto <= have:
+            return
+        need = upto - have
+        ext = self.spec.extent_bytes
+        length = ((need + ext - 1) // ext) * ext
+        usable = max(self.array.capacity_bytes - 256 * MiB, length)
+        start = self._alloc_cursor % usable
+        self._alloc_cursor = start + length
+        inode.extents.append((have, start, length))
+
+    def _flush_entries(self, entries):
+        """Write dirty cache entries to the device and mark them clean.
+
+        Runs that are densely dirty flush as one sequential write;
+        sparse runs flush as scattered page-sized writes.
+        """
+        sb = self.cache.spec.segment_bytes
+        for fileid, first, nsegs, dirty in PageCache.coalesce(entries):
+            inode = self._by_id.get(fileid)
+            if inode is None:
+                for s in range(first, first + nsegs):
+                    self.cache.mark_clean(fileid, s)
+                continue
+            off = first * sb
+            self._ensure_allocation(inode, off + nsegs * sb)
+            dev = inode.device_offset(off)
+            density = dirty / (nsegs * sb)
+            if density >= self.spec.dense_flush_threshold:
+                yield self.array.submit("write", dev, nsegs * sb, cached=False)
+            else:
+                nb = self.spec.min_io_bytes
+                nops = max(dirty // nb, 1)
+                scatter = max((nsegs * sb) // nops, nb)
+                yield self.array.submit("write", dev, nb, nops, scatter, cached=False)
+            for s in range(first, first + nsegs):
+                self.cache.mark_clean(fileid, s)
+            self.stats.flush_runs += 1
+
+    def _kick_flusher(self) -> None:
+        if not self._flusher_running:
+            self._flusher_running = True
+            self.env.process(self._flusher(), name=f"{self.name}.flusher")
+
+    def _flusher(self):
+        while self.cache.need_background_flush:
+            batch = self.cache.dirty_segments(limit=self.FLUSH_BATCH_SEGS)
+            if not batch:
+                break
+            yield from self._flush_entries(batch)
+            waiters, self._flush_waiters = self._flush_waiters, []
+            for w in waiters:
+                w.succeed()
+        self._flusher_running = False
+        waiters, self._flush_waiters = self._flush_waiters, []
+        for w in waiters:
+            w.succeed()
+
+    def _throttle(self):
+        """Block the writer until the flusher drains below the dirty limit."""
+        while self.cache.need_throttle:
+            self._kick_flusher()
+            ev = self.env.event()
+            self._flush_waiters.append(ev)
+            yield ev
+
+    def _fsync(self, inode):
+        yield self.env.timeout(self.spec.syscall_s)
+        entries = self.cache.dirty_segments(limit=None, fileid=inode.fileid)
+        yield from self._flush_entries(entries)
+        yield self.array.submit(
+            "write", self._journal_offset(), self.spec.journal_write_bytes
+        )
+        return None
+
+    def _sync_all(self):
+        entries = self.cache.dirty_segments(limit=None)
+        yield from self._flush_entries(entries)
+        yield self.array.flush()
+        return None

@@ -1,0 +1,22 @@
+"""PAS2P-style application I/O tracing, phase detection and timelines."""
+
+from .darshan import build_report, DarshanReport, events_from_csv, events_to_csv, FileRecord
+from .events import IOEvent, PhaseEvent
+from .phases import PhaseDetector, detect_phases
+from .timeline import render_timeline
+from .tracer import IOTracer, TraceSummary
+
+__all__ = [
+    "build_report",
+    "DarshanReport",
+    "events_from_csv",
+    "events_to_csv",
+    "FileRecord",
+    "IOEvent",
+    "PhaseEvent",
+    "PhaseDetector",
+    "detect_phases",
+    "render_timeline",
+    "IOTracer",
+    "TraceSummary",
+]

@@ -1,0 +1,59 @@
+"""Text timeline rendering of I/O traces.
+
+The paper uses Jumpshot/MPE screenshots (Figs. 8 and 16) to show the
+repetitive I/O behaviour of NAS BT-IO and MADbench2; this module
+renders the equivalent as a per-rank ASCII Gantt strip — reads,
+writes and gaps in distinct glyphs — so examples and tests can assert
+the phase structure visually and programmatically.
+"""
+
+from __future__ import annotations
+
+from .events import IOEvent
+
+__all__ = ["render_timeline", "GLYPHS"]
+
+GLYPHS = {"write": "W", "read": "R", "both": "#", "idle": "."}
+
+
+def render_timeline(
+    events: list[IOEvent],
+    width: int = 100,
+    ranks: list[int] | None = None,
+) -> str:
+    """Render a per-rank strip chart of ``width`` time buckets.
+
+    Each bucket shows ``W`` when only writes were active for that rank,
+    ``R`` for reads, ``#`` for both, ``.`` for no I/O.
+    """
+    if not events:
+        return "(no I/O events)"
+    t0 = min(e.t_start for e in events)
+    t1 = max(e.t_end for e in events)
+    span = max(t1 - t0, 1e-12)
+    if ranks is None:
+        ranks = sorted({e.rank for e in events})
+    # bucket -> set of ops, per rank
+    grid: dict[int, list[set]] = {r: [set() for _ in range(width)] for r in ranks}
+    for e in events:
+        if e.rank not in grid or e.op not in ("read", "write"):
+            continue
+        b0 = int((e.t_start - t0) / span * (width - 1))
+        b1 = int((e.t_end - t0) / span * (width - 1))
+        for b in range(b0, b1 + 1):
+            grid[e.rank][b].add(e.op)
+    lines = [f"timeline: {span:.3f}s across {width} buckets ('W'=write 'R'=read '#'=both)"]
+    label_w = max(len(f"rank {r}") for r in ranks)
+    for r in ranks:
+        cells = []
+        for ops in grid[r]:
+            if ops == {"write"}:
+                cells.append(GLYPHS["write"])
+            elif ops == {"read"}:
+                cells.append(GLYPHS["read"])
+            elif ops:
+                cells.append(GLYPHS["both"])
+            else:
+                cells.append(GLYPHS["idle"])
+        lines.append(f"{f'rank {r}':>{label_w}} |{''.join(cells)}|")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""PAS2P-style I/O tracer.
+
+Collects the :class:`~repro.tracing.events.IOEvent` stream of an MPI
+run (the simulated analogue of preloading ``libpas2p_io.so``) and
+answers the characterization queries of the paper's application
+phase: operation counts and sizes per operation type (Tables II, V,
+VIII), I/O time, transfer rates and IOPs per rank and globally.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .events import IOEvent
+
+__all__ = ["IOTracer", "TraceSummary"]
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate characterization of a traced run (one operation type)."""
+
+    op: str
+    n_ops: int = 0
+    total_bytes: int = 0
+    total_time: float = 0.0
+    block_sizes: dict[int, int] = field(default_factory=dict)  # nbytes -> op count
+
+    @property
+    def iops(self) -> float:
+        return self.n_ops / self.total_time if self.total_time > 0 else 0.0
+
+    @property
+    def bandwidth(self) -> float:
+        return self.total_bytes / self.total_time if self.total_time > 0 else 0.0
+
+    @property
+    def dominant_block(self) -> int:
+        """The block size carrying the most operations."""
+        if not self.block_sizes:
+            return 0
+        return max(self.block_sizes, key=lambda k: self.block_sizes[k])
+
+
+class IOTracer:
+    """Per-rank event capture with aggregate queries."""
+
+    def __init__(self):
+        self.events: list[IOEvent] = []
+        self._by_rank: dict[int, list[IOEvent]] = defaultdict(list)
+
+    # -- capture -----------------------------------------------------------
+    def record(self, rank: int, event: IOEvent) -> None:
+        self.events.append(event)
+        self._by_rank[rank].append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._by_rank.clear()
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def nranks(self) -> int:
+        return len(self._by_rank)
+
+    def rank_events(self, rank: int) -> list[IOEvent]:
+        return list(self._by_rank.get(rank, []))
+
+    def ops(self, op: Optional[str] = None, rank: Optional[int] = None) -> list[IOEvent]:
+        evs: Iterable[IOEvent] = self.events if rank is None else self._by_rank.get(rank, [])
+        return [e for e in evs if op is None or e.op == op]
+
+    def count_ops(self, op: str) -> int:
+        """Total individual operations (bulk events expand by count)."""
+        return sum(e.count for e in self.events if e.op == op)
+
+    def summary(self, op: str) -> TraceSummary:
+        s = TraceSummary(op=op)
+        for e in self.events:
+            if e.op != op:
+                continue
+            s.n_ops += e.count
+            s.total_bytes += e.total_bytes
+            s.total_time += e.duration
+            s.block_sizes[e.nbytes] = s.block_sizes.get(e.nbytes, 0) + e.count
+        return s
+
+    def io_time(self, rank: Optional[int] = None) -> float:
+        """Total time spent inside I/O calls.
+
+        Per-rank I/O intervals may overlap across ranks; the paper's
+        "I/O time" is the per-process sum averaged over ranks (each
+        process observes its own blocking time).
+        """
+        if rank is not None:
+            return sum(e.duration for e in self._by_rank.get(rank, []))
+        if not self._by_rank:
+            return 0.0
+        return sum(
+            sum(e.duration for e in evs) for evs in self._by_rank.values()
+        ) / len(self._by_rank)
+
+    def wall_io_span(self) -> float:
+        """Wall-clock span from first I/O start to last I/O end."""
+        if not self.events:
+            return 0.0
+        return max(e.t_end for e in self.events) - min(e.t_start for e in self.events)
+
+    def transfer_rate(self, op: Optional[str] = None) -> float:
+        """Aggregate achieved rate (bytes moved / wall span of those events)."""
+        evs = [e for e in self.events if op is None or e.op == op]
+        if not evs:
+            return 0.0
+        span = max(e.t_end for e in evs) - min(e.t_start for e in evs)
+        total = sum(e.total_bytes for e in evs)
+        return total / span if span > 0 else 0.0
+
+    def block_size_table(self, op: str) -> dict[int, int]:
+        """nbytes -> number of individual operations (paper Tables II/V/VIII)."""
+        return dict(self.summary(op).block_sizes)

@@ -1,0 +1,55 @@
+"""Workload generators: benchmarks and application models."""
+
+from .apps import BTIOApplication, MadBenchApplication
+from .btio import (
+    BTIO_CLASSES,
+    BTIOClass,
+    BTIOConfig,
+    BTIOResult,
+    btio_geometry,
+    characterize_btio,
+    run_btio,
+)
+from .beffio import BeffIOResult, PATTERNS, run_beffio
+from .bonnie import BonnieResult, run_bonnie
+from .iozone import DEFAULT_BLOCKS, IOzoneResult, IOzoneRow, run_iozone
+from .ior import IORResult, IORRow, run_ior
+from .madbench import (
+    characterize_madbench,
+    MadBenchConfig,
+    MadBenchResult,
+    run_madbench,
+)
+from .synthetic import run_synthetic, SyntheticPhase, SyntheticResult, SyntheticSpec
+
+__all__ = [
+    "BTIOApplication",
+    "MadBenchApplication",
+    "BTIO_CLASSES",
+    "BTIOClass",
+    "BTIOConfig",
+    "BTIOResult",
+    "btio_geometry",
+    "characterize_btio",
+    "run_btio",
+    "DEFAULT_BLOCKS",
+    "IOzoneResult",
+    "IOzoneRow",
+    "run_iozone",
+    "IORResult",
+    "IORRow",
+    "run_ior",
+    "characterize_madbench",
+    "MadBenchConfig",
+    "MadBenchResult",
+    "run_madbench",
+    "BeffIOResult",
+    "PATTERNS",
+    "run_beffio",
+    "BonnieResult",
+    "run_bonnie",
+    "run_synthetic",
+    "SyntheticPhase",
+    "SyntheticResult",
+    "SyntheticSpec",
+]

@@ -1,0 +1,67 @@
+"""Adapters exposing the workload models as methodology Applications.
+
+The evaluation phase (:class:`~repro.core.methodology.Methodology`)
+runs anything implementing the :class:`~repro.core.methodology.
+Application` protocol; these wrappers bind a workload configuration
+so one object can be evaluated across many I/O configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..clusters.builder import System
+from ..tracing import IOTracer
+from .btio import BTIOConfig, run_btio
+from .madbench import MadBenchConfig, run_madbench
+
+__all__ = ["BTIOApplication", "MadBenchApplication"]
+
+
+@dataclass
+class BTIOApplication:
+    """NAS BT-IO as an evaluation-phase application."""
+
+    config: BTIOConfig
+
+    @property
+    def name(self) -> str:
+        return f"btio-{self.config.clazz}-{self.config.nprocs}p-{self.config.subtype}"
+
+    def run(self, system: System):
+        from ..core.methodology import AppRun
+
+        tracer = IOTracer()
+        res = run_btio(system, self.config, tracer=tracer)
+        return AppRun(
+            tracer=tracer,
+            execution_time_s=res.execution_time,
+            io_time_s=res.io_time,
+            bytes_written=res.bytes_written,
+            bytes_read=res.bytes_read,
+        )
+
+
+@dataclass
+class MadBenchApplication:
+    """MADbench2 as an evaluation-phase application."""
+
+    config: MadBenchConfig
+
+    @property
+    def name(self) -> str:
+        return f"madbench-{self.config.nprocs}p-{self.config.filetype}"
+
+    def run(self, system: System):
+        from ..core.methodology import AppRun
+
+        tracer = IOTracer()
+        res = run_madbench(system, self.config, tracer=tracer)
+        nb = self.config.block_bytes * self.config.nbin * self.config.nprocs
+        return AppRun(
+            tracer=tracer,
+            execution_time_s=res.execution_time,
+            io_time_s=res.io_time,
+            bytes_written=2 * nb,  # S + W
+            bytes_read=2 * nb,  # W + C
+        )

@@ -1,0 +1,123 @@
+"""b_eff_io-like effective-I/O-bandwidth benchmark.
+
+The paper cites b_eff_io (Rabenseifner & Koniges) as an alternative
+to IOR for characterizing the I/O library level.  b_eff_io samples a
+matrix of *access patterns* × *chunk sizes* through MPI-IO and folds
+them into a single **effective bandwidth** figure.  The model covers
+the benchmark's pattern families:
+
+* pattern 0 — strided collective access, one shared file;
+* pattern 1 — strided collective, *individual* chunk boundaries;
+* pattern 2 — segmented access, one shared file;
+* pattern 3 — segmented access, one file per process;
+* pattern 4 — non-collective (independent) segmented access.
+
+``b_eff_io = Σ weighted pattern bandwidths`` using the benchmark's
+geometric weighting over chunk sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..storage.base import KiB, MiB
+from ..clusters.builder import System
+
+__all__ = ["BeffIOResult", "run_beffio", "PATTERNS"]
+
+PATTERNS = ("strided_collective", "strided_individual", "segmented", "seg_per_process", "noncollective")
+
+_DEFAULT_CHUNKS = (32 * KiB, 256 * KiB, 1 * MiB)
+
+
+@dataclass
+class BeffIOResult:
+    nprocs: int
+    #: pattern -> {chunk_bytes: aggregate write Bps}
+    write_Bps: dict[str, dict[int, float]] = field(default_factory=dict)
+    read_Bps: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def effective_bandwidth(self, op: str = "write") -> float:
+        """Geometric-style average over patterns and chunk sizes."""
+        table = self.write_Bps if op == "write" else self.read_Bps
+        rates = [r for chunks in table.values() for r in chunks.values() if r > 0]
+        if not rates:
+            return 0.0
+        return sum(rates) / len(rates)
+
+
+def run_beffio(
+    system: System,
+    nprocs: int,
+    path: str = "/nfs/beffio",
+    chunk_sizes: tuple = _DEFAULT_CHUNKS,
+    chunks_per_pattern: int = 32,
+) -> BeffIOResult:
+    """Run the pattern matrix; returns aggregate rates per cell."""
+    env = system.env
+    result = BeffIOResult(nprocs=nprocs)
+    for p in PATTERNS:
+        result.write_Bps[p] = {}
+        result.read_Bps[p] = {}
+    marks: dict = {}
+
+    def program(mpi):
+        for pattern in PATTERNS:
+            per_file = pattern == "seg_per_process"
+            # per-process files have no shared collective context
+            collective = pattern != "noncollective" and not per_file
+            for chunk in chunk_sizes:
+                if per_file:
+                    f = yield mpi.file_open_self(f"{path}/{pattern}_{chunk}_{mpi.rank}.dat", "w")
+                else:
+                    f = yield mpi.file_open(f"{path}/{pattern}_{chunk}.dat", "w")
+                yield mpi.barrier()
+                t0 = mpi.now
+                total = chunk * chunks_per_pattern
+                if pattern.startswith("strided"):
+                    # round-robin interleaved chunks across ranks
+                    stride = chunk * mpi.size
+                    off = chunk * mpi.rank
+                    if collective:
+                        yield f.write_at_all(off, chunk, count=chunks_per_pattern, stride=stride)
+                    else:
+                        yield f.write_at(off, chunk, count=chunks_per_pattern, stride=stride)
+                else:
+                    off = 0 if per_file else mpi.rank * total
+                    if collective:
+                        yield f.write_at_all(off, chunk, count=chunks_per_pattern)
+                    else:
+                        yield f.write_at(off, chunk, count=chunks_per_pattern)
+                yield mpi.barrier()
+                t1 = mpi.now
+                # read the pattern back
+                if pattern.startswith("strided"):
+                    stride = chunk * mpi.size
+                    off = chunk * mpi.rank
+                    if collective:
+                        yield f.read_at_all(off, chunk, count=chunks_per_pattern, stride=stride)
+                    else:
+                        yield f.read_at(off, chunk, count=chunks_per_pattern, stride=stride)
+                else:
+                    off = 0 if per_file else mpi.rank * total
+                    if collective:
+                        yield f.read_at_all(off, chunk, count=chunks_per_pattern)
+                    else:
+                        yield f.read_at(off, chunk, count=chunks_per_pattern)
+                yield mpi.barrier()
+                t2 = mpi.now
+                if per_file:
+                    yield f.close_self()
+                else:
+                    yield f.close()
+                if mpi.rank == 0:
+                    marks[(pattern, chunk)] = (t0, t1, t2)
+        return None
+
+    world = system.world(nprocs)
+    env.run(world.run_program(program, name="beffio"))
+    for (pattern, chunk), (t0, t1, t2) in marks.items():
+        total = chunk * chunks_per_pattern * nprocs
+        result.write_Bps[pattern][chunk] = total / (t1 - t0) if t1 > t0 else 0.0
+        result.read_Bps[pattern][chunk] = total / (t2 - t1) if t2 > t1 else 0.0
+    return result

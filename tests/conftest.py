@@ -1,0 +1,65 @@
+"""Shared fixtures: small, fast simulated systems.
+
+Tests use deliberately tiny nodes (64 MiB RAM, small files) so whole
+cluster simulations run in milliseconds while exercising the same
+code paths as the paper-scale runs in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simengine import Environment
+from repro.hardware import DiskSpec, NodeSpec, RAIDConfig, RAIDLevel
+from repro.clusters.builder import System, SystemConfig, build_system
+from repro.storage.base import KiB, MiB
+
+SMALL_DISK = DiskSpec(capacity_bytes=4 * 1024 * MiB)
+SMALL_NODE = NodeSpec(cores=2, core_gflops=4.0, ram_bytes=64 * MiB)
+
+
+def small_config(
+    device: str = "jbod",
+    n_compute: int = 2,
+    separate_data_network: bool = True,
+    **kw,
+) -> SystemConfig:
+    if device == "jbod":
+        dev = RAIDConfig(level=RAIDLevel.JBOD, ndisks=1, disk=SMALL_DISK)
+    elif device == "raid1":
+        dev = RAIDConfig(level=RAIDLevel.RAID1, ndisks=2, disk=SMALL_DISK)
+    elif device == "raid5":
+        dev = RAIDConfig(level=RAIDLevel.RAID5, ndisks=5, stripe_bytes=256 * KiB, disk=SMALL_DISK)
+    else:
+        raise ValueError(device)
+    return SystemConfig(
+        name=f"test-{device}",
+        n_compute=n_compute,
+        compute_spec=SMALL_NODE,
+        server_spec=SMALL_NODE,
+        local_device=dev,
+        server_device=dev,
+        separate_data_network=separate_data_network,
+        **kw,
+    )
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def system() -> System:
+    """A tiny 2-node JBOD system on a fresh environment."""
+    return build_system(Environment(), small_config())
+
+
+@pytest.fixture
+def raid5_system() -> System:
+    return build_system(Environment(), small_config("raid5"))
+
+
+def run_proc(env: Environment, gen):
+    """Run a generator as a process to completion; return its value."""
+    return env.run(env.process(gen))

@@ -1,0 +1,105 @@
+"""Tests for the bonnie++, b_eff_io and synthetic workload generators."""
+
+import pytest
+
+from repro.simengine import Environment
+from repro.clusters.builder import build_system
+from repro.storage.base import KiB, MiB
+from repro.workloads.beffio import PATTERNS, run_beffio
+from repro.workloads.bonnie import run_bonnie
+from repro.workloads.synthetic import SyntheticPhase, SyntheticSpec, run_synthetic
+from conftest import small_config
+
+
+class TestBonnie:
+    def test_all_metrics_reported(self, system):
+        res = run_bonnie(system, "n0", "/local/b.tmp", file_bytes=32 * MiB, seek_count=200)
+        d = res.as_dict()
+        assert set(d) == {"putc", "write", "rewrite", "getc", "read", "seeks"}
+        assert all(v > 0 for v in d.values())
+
+    def test_block_write_at_least_as_fast_as_putc(self, system):
+        res = run_bonnie(system, "n0", "/local/b.tmp", file_bytes=32 * MiB, seek_count=100)
+        assert res.write_Bps >= 0.8 * res.putc_Bps
+
+    def test_seeks_are_iops_scale(self, system):
+        res = run_bonnie(system, "n0", "/local/b.tmp", file_bytes=64 * MiB, seek_count=300)
+        assert 10 < res.seeks_per_s < 100000
+
+    def test_cleans_up_file(self, system):
+        run_bonnie(system, "n0", "/local/b.tmp", file_bytes=16 * MiB, seek_count=50)
+        assert not system.node("n0").vfs.exists("/local/b.tmp")
+
+
+class TestBeffIO:
+    def test_pattern_matrix_complete(self):
+        system = build_system(Environment(), small_config(n_compute=2))
+        res = run_beffio(system, 2, chunk_sizes=(64 * KiB,), chunks_per_pattern=4)
+        assert set(res.write_Bps) == set(PATTERNS)
+        for pattern in PATTERNS:
+            assert res.write_Bps[pattern][64 * KiB] > 0
+            assert res.read_Bps[pattern][64 * KiB] > 0
+
+    def test_effective_bandwidth_positive(self):
+        system = build_system(Environment(), small_config(n_compute=2))
+        res = run_beffio(system, 2, chunk_sizes=(64 * KiB,), chunks_per_pattern=4)
+        assert res.effective_bandwidth("write") > 0
+        assert res.effective_bandwidth("read") > 0
+
+    def test_empty_result_zero(self):
+        from repro.workloads.beffio import BeffIOResult
+
+        assert BeffIOResult(nprocs=2).effective_bandwidth() == 0.0
+
+
+class TestSynthetic:
+    def make_spec(self, **kw):
+        defaults = dict(
+            phases=(
+                SyntheticPhase("write", 256 * KiB, repetitions=3, compute_s=0.01),
+                SyntheticPhase("read", 256 * KiB, repetitions=3),
+            ),
+            nprocs=2,
+        )
+        defaults.update(kw)
+        return SyntheticSpec(**defaults)
+
+    def test_runs_and_traces(self):
+        system = build_system(Environment(), small_config(n_compute=2))
+        res = run_synthetic(system, self.make_spec())
+        assert res.execution_time > 0
+        assert 0 < res.io_time <= res.execution_time
+        assert res.tracer.count_ops("write") == 3 * 2
+        assert res.tracer.count_ops("read") == 3 * 2
+
+    def test_collective_phases(self):
+        system = build_system(Environment(), small_config(n_compute=2))
+        spec = self.make_spec(
+            phases=(SyntheticPhase("write", 512 * KiB, repetitions=2, collective=True),)
+        )
+        res = run_synthetic(system, spec)
+        assert all(e.collective for e in res.tracer.events)
+
+    def test_per_process_files(self):
+        system = build_system(Environment(), small_config(n_compute=2))
+        spec = self.make_spec(per_process_files=True, path="/nfs/syn.dat")
+        run_synthetic(system, spec)
+        assert system.export.exists("/nfs/syn.dat.0")
+        assert system.export.exists("/nfs/syn.dat.1")
+
+    def test_strided_phase_geometry_traced(self):
+        system = build_system(Environment(), small_config(n_compute=2))
+        spec = self.make_spec(
+            phases=(SyntheticPhase("write", 4 * KiB, count=16, stride=16 * KiB),)
+        )
+        res = run_synthetic(system, spec)
+        ev = res.tracer.events[0]
+        assert ev.count == 16 and ev.stride == 16 * KiB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticPhase("append", 1024)
+        with pytest.raises(ValueError):
+            SyntheticPhase("write", 0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(phases=())

@@ -1,0 +1,118 @@
+"""NAS BT-IO model tests: geometry, characterization vs paper Tables II/V,
+and small-scale execution."""
+
+import pytest
+
+from repro.simengine import Environment
+from repro.clusters.builder import build_system
+from repro.storage.base import MiB
+from repro.workloads.btio import (
+    BTIOConfig,
+    btio_class,
+    btio_geometry,
+    characterize_btio,
+    run_btio,
+)
+from conftest import small_config
+
+
+class TestGeometry:
+    def test_requires_square_process_count(self):
+        with pytest.raises(ValueError):
+            btio_geometry(btio_class("C"), 10)
+
+    def test_cells_per_rank_is_sqrt_p(self):
+        geom = btio_geometry(btio_class("C"), 16)
+        assert len(geom) == 16
+        assert all(len(cells) == 4 for cells in geom)
+
+    def test_global_volume_conserved(self):
+        clazz = btio_class("C")
+        for p in (16, 64):
+            geom = btio_geometry(clazz, p)
+            total = sum(c.cell_bytes for cells in geom for c in cells)
+            assert total == pytest.approx(clazz.step_bytes, rel=1e-3)
+
+    def test_class_c_16p_row_sizes_match_paper(self):
+        """Paper Table II: simple-subtype blocks are 1600 and 1640 bytes."""
+        geom = btio_geometry(btio_class("C"), 16)
+        sizes = {c.row_bytes for cells in geom for c in cells}
+        assert sizes == {1600, 1640}
+
+    def test_class_c_64p_row_sizes_match_paper(self):
+        """Paper Table V: 800 and 840 bytes."""
+        geom = btio_geometry(btio_class("C"), 64)
+        sizes = {c.row_bytes for cells in geom for c in cells}
+        assert sizes == {800, 840}
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            btio_class("Z")
+
+
+class TestCharacterization:
+    def test_full_16p_matches_table2(self):
+        char = characterize_btio(BTIOConfig(clazz="C", nprocs=16, subtype="full"))
+        assert char["numio_write"] == 640
+        assert char["numio_read"] == 640
+        assert char["num_files"] == 1
+        for b in char["block_bytes_write"]:
+            assert b == pytest.approx(10 * MiB, rel=0.05)  # "10 MB"
+
+    def test_simple_16p_matches_table2(self):
+        char = characterize_btio(BTIOConfig(clazz="C", nprocs=16, subtype="simple"))
+        # paper: 2,073,600 + 2,125,440 = 4,199,040 operations
+        assert char["numio_write"] == 4_199_040
+        assert char["block_bytes_write"] == [1600, 1640]
+        for paper, block in ((2_073_600, 1600), (2_125_440, 1640)):
+            assert char["ops_by_block"][block] == pytest.approx(paper, rel=0.02)
+
+    def test_full_64p_matches_table5(self):
+        char = characterize_btio(BTIOConfig(clazz="C", nprocs=64, subtype="full"))
+        assert char["numio_write"] == 2560
+        for b in char["block_bytes_write"]:
+            assert b == pytest.approx(2.54 * MiB, rel=0.05)
+
+    def test_simple_64p_matches_table5(self):
+        char = characterize_btio(BTIOConfig(clazz="C", nprocs=64, subtype="simple"))
+        assert char["block_bytes_write"] == [800, 840]
+
+    def test_verify_read_flag(self):
+        char = characterize_btio(BTIOConfig(clazz="C", nprocs=16, subtype="full", verify_read=False))
+        assert char["numio_read"] == 0
+
+    def test_subtype_validation(self):
+        with pytest.raises(ValueError):
+            BTIOConfig(subtype="collective")
+
+
+class TestExecution:
+    """Class W (24^3) keeps run times tiny while exercising both paths."""
+
+    def run_one(self, subtype, nprocs=4):
+        system = build_system(Environment(), small_config(n_compute=2))
+        cfg = BTIOConfig(clazz="W", nprocs=nprocs, subtype=subtype, path="/nfs/bt.out")
+        return run_btio(system, cfg)
+
+    def test_full_runs_and_reports(self):
+        res = self.run_one("full")
+        clazz = btio_class("W")
+        assert res.execution_time > 0
+        assert res.n_writes == clazz.io_steps * 4
+        assert res.n_reads == res.n_writes
+        assert res.bytes_written == pytest.approx(clazz.file_bytes, rel=1e-3)
+        assert 0 < res.io_fraction < 1
+
+    def test_simple_runs_with_many_small_ops(self):
+        res = self.run_one("simple")
+        assert res.n_writes > 100 * res.config.nprocs
+
+    def test_simple_worse_io_rate_than_full(self):
+        full = self.run_one("full")
+        simple = self.run_one("simple")
+        assert simple.write_rate_Bps < full.write_rate_Bps
+
+    def test_tracer_attached(self):
+        res = self.run_one("full")
+        assert res.tracer is not None
+        assert res.tracer.count_ops("write") == res.n_writes

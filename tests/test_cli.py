@@ -1,0 +1,53 @@
+"""CLI tests (fast paths only; heavy runs are exercised in benchmarks/)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "jbod" in out and "raid5" in out and "cluster-a" in out
+    assert "btio" in out and "madbench" in out
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["evaluate", "btio"])
+    assert args.workload == "btio"
+    assert args.nprocs == 16
+    assert args.subtype == "full"
+    assert set(args.configs) == {"jbod", "raid1", "raid5"}
+
+
+def test_unknown_config_rejected():
+    with pytest.raises(SystemExit):
+        main(["characterize", "--configs", "bluegene"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_characterize_writes_csv(tmp_path, capsys):
+    rc = main([
+        "characterize", "--configs", "jbod", "--block-step", "9",
+        "--ior-gib", "1", "--out", str(tmp_path),
+    ])
+    assert rc == 0
+    saved = sorted(p.name for p in tmp_path.glob("*.csv"))
+    assert saved == ["jbod_iolib.csv", "jbod_localfs.csv", "jbod_nfs.csv"]
+    out = capsys.readouterr().out
+    assert "Performance table" in out
+
+
+def test_predict_command(capsys):
+    rc = main([
+        "predict", "btio", "--class", "S", "--nprocs", "4",
+        "--configs", "jbod", "--block-step", "9", "--ior-gib", "1",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "predicted I/O time" in out
+    assert "jbod" in out

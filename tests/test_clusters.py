@@ -1,0 +1,110 @@
+"""Cluster-builder tests: Aohyper, cluster A, and the generic System."""
+
+import pytest
+
+from repro.simengine import Environment
+from repro.clusters import (
+    AOHYPER_CONFIGS,
+    aohyper_config,
+    build_aohyper,
+    build_cluster_a,
+    build_system,
+    cluster_a_config,
+)
+from repro.hardware.raid import RAIDLevel
+from repro.storage.base import GiB, KiB
+from conftest import small_config
+
+
+class TestAohyper:
+    def test_three_configurations(self):
+        assert set(AOHYPER_CONFIGS) == {"jbod", "raid1", "raid5"}
+
+    def test_paper_parameters(self):
+        cfg = aohyper_config("raid5")
+        assert cfg.n_compute == 8
+        assert cfg.compute_spec.cores == 2
+        assert cfg.compute_spec.ram_bytes == 2 * GiB
+        assert cfg.server_device.level is RAIDLevel.RAID5
+        assert cfg.server_device.ndisks == 5
+        assert cfg.server_device.stripe_bytes == 256 * KiB
+        assert cfg.separate_data_network  # two Gigabit networks
+
+    def test_jbod_single_disk(self):
+        cfg = aohyper_config("jbod")
+        assert cfg.server_device.level is RAIDLevel.JBOD
+        assert cfg.server_device.ndisks == 1
+
+    def test_raid1_mirror(self):
+        cfg = aohyper_config("raid1")
+        assert cfg.server_device.ndisks == 2
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            aohyper_config("raid6")
+
+    def test_build(self):
+        system = build_aohyper(Environment(), "jbod")
+        assert len(system.compute) == 8
+        assert system.server_node.name == "ionode"
+
+
+class TestClusterA:
+    def test_paper_parameters(self):
+        cfg = cluster_a_config()
+        assert cfg.n_compute == 32
+        assert cfg.compute_spec.cores == 4
+        assert cfg.compute_spec.ram_bytes == 12 * GiB
+        assert cfg.server_spec.ram_bytes == 8 * GiB
+        assert cfg.local_device.level is RAIDLevel.JBOD
+        assert cfg.server_device.level is RAIDLevel.RAID5
+
+    def test_build(self):
+        system = build_cluster_a(Environment())
+        assert len(system.compute) == 32
+
+
+class TestSystem:
+    def test_every_node_has_vfs_with_both_mounts(self, system):
+        for node in system.compute:
+            assert node.vfs.resolve("/local/x") is system.local_fs[node.name]
+            assert node.vfs.resolve("/nfs/x") is system.nfs_mounts[node.name]
+
+    def test_server_sees_export_locally(self, system):
+        assert system.server_node.vfs.resolve("/nfs/x") is system.export
+
+    def test_separate_networks(self):
+        system = build_system(Environment(), small_config(separate_data_network=True))
+        assert not system.cluster.shared_network
+
+    def test_shared_network(self):
+        system = build_system(Environment(), small_config(separate_data_network=False))
+        assert system.cluster.shared_network
+        assert system.cluster.comm_network is system.cluster.data_network
+
+    def test_compute_nodes_exclude_io_node(self, system):
+        names = [n.name for n in system.cluster.compute_nodes()]
+        assert "ionode" not in names
+
+    def test_world_factory(self, system):
+        w = system.world(4)
+        assert w.nprocs == 4
+
+    def test_cache_disable_flags(self):
+        cfg = small_config()
+        from dataclasses import replace
+
+        cfg = replace(cfg, client_cache_enabled=False, server_cache_enabled=False)
+        system = build_system(Environment(), cfg)
+        assert system.nfs_mounts["n0"].cache.spec.capacity_bytes <= 16 * 1024 * 1024
+        assert system.export.cache.spec.capacity_bytes <= 64 * 1024 * 1024
+
+    def test_duplicate_node_rejected(self, system):
+        from repro.hardware import Node
+
+        with pytest.raises(ValueError):
+            system.cluster.add_node(Node(system.env, "n0"))
+
+    def test_unknown_node_lookup(self, system):
+        with pytest.raises(KeyError):
+            system.cluster.node("n99")

@@ -1,0 +1,82 @@
+"""Darshan-style summary and trace round-trip tests."""
+
+import pytest
+
+from repro.tracing import IOEvent, IOTracer, build_report, events_from_csv, events_to_csv
+
+
+def ev(rank=0, op="write", offset=0, nbytes=1024, count=1, stride=None,
+       t0=0.0, t1=1.0, path="/f", collective=False):
+    return IOEvent(rank, op, offset, nbytes, count, stride, t0, t1, path, collective)
+
+
+def make_tracer():
+    t = IOTracer()
+    t.record(0, ev(rank=0, op="write", nbytes=1 << 20, count=4, collective=True))
+    t.record(1, ev(rank=1, op="write", nbytes=1 << 20, count=4, collective=True, path="/f"))
+    t.record(0, ev(rank=0, op="read", nbytes=512, count=100, stride=2048, t0=1, t1=2))
+    t.record(1, ev(rank=1, op="write", nbytes=4096, path="/g", t0=2, t1=3))
+    return t
+
+
+class TestReport:
+    def test_per_file_records(self):
+        rep = build_report(make_tracer())
+        assert set(rep.files) == {"/f", "/g"}
+        f = rep.files["/f"]
+        assert f.shared
+        assert f.writes == 8
+        assert f.bytes_written == 8 << 20
+        assert f.reads == 100
+        g = rep.files["/g"]
+        assert not g.shared
+        assert g.writes == 1
+
+    def test_collective_split(self):
+        rep = build_report(make_tracer())
+        f = rep.files["/f"]
+        assert f.collective_ops == 8
+        assert f.independent_ops == 100
+
+    def test_size_histogram_buckets(self):
+        rep = build_report(make_tracer())
+        f = rep.files["/f"]
+        assert f.size_histogram.get("100-1K") == 100  # the 512-byte reads
+        assert f.size_histogram.get("1M-4M") == 8
+        assert f.dominant_bucket == "100-1K"
+
+    def test_totals(self):
+        rep = build_report(make_tracer())
+        assert rep.total_bytes == (8 << 20) + 512 * 100 + 4096
+        assert rep.shared_files == ["/f"]
+        assert rep.nranks == 2
+
+    def test_render(self):
+        text = build_report(make_tracer()).render()
+        assert "/f" in text and "shared" in text
+        assert "/g" in text and "unique" in text
+
+    def test_empty(self):
+        rep = build_report(IOTracer())
+        assert rep.files == {}
+        assert rep.total_bytes == 0
+
+
+class TestCsvRoundTrip:
+    def test_exact_round_trip(self):
+        t = make_tracer()
+        back = events_from_csv(events_to_csv(t))
+        assert len(back.events) == len(t.events)
+        for a, b in zip(t.events, back.events):
+            assert a == b  # frozen dataclass equality, exact floats via repr
+
+    def test_header(self):
+        line = events_to_csv(IOTracer()).splitlines()[0]
+        assert line.startswith("rank,op,offset,nbytes,count,stride")
+
+    def test_round_trip_preserves_queries(self):
+        t = make_tracer()
+        back = events_from_csv(events_to_csv(t))
+        assert back.count_ops("write") == t.count_ops("write")
+        assert back.io_time() == t.io_time()
+        assert back.nranks == t.nranks

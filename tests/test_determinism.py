@@ -1,0 +1,67 @@
+"""Reproducibility: identical runs produce identical simulated clocks."""
+
+from repro.simengine import Environment
+from repro.clusters.builder import build_system
+from repro.storage.base import KiB, MiB
+from repro.workloads import run_iozone, run_ior
+from repro.workloads.btio import BTIOConfig, run_btio
+from repro.workloads.madbench import MadBenchConfig, run_madbench
+from conftest import small_config
+
+
+def test_iozone_deterministic():
+    def once():
+        system = build_system(Environment(), small_config())
+        res = run_iozone(system, "n0", "/local/z", file_bytes=16 * MiB,
+                         block_sizes=(256 * KiB,), include_strided=True, include_random=True)
+        return [(r.test, r.rate_Bps) for r in res.rows]
+
+    assert once() == once()
+
+
+def test_ior_deterministic():
+    def once():
+        system = build_system(Environment(), small_config(n_compute=2))
+        res = run_ior(system, 4, block_sizes=(1 * MiB,), file_bytes=8 * MiB)
+        return [(r.op, r.aggregate_rate_Bps, r.elapsed_s) for r in res.rows]
+
+    assert once() == once()
+
+
+def test_btio_deterministic():
+    def once():
+        system = build_system(Environment(), small_config(n_compute=2))
+        res = run_btio(system, BTIOConfig(clazz="S", nprocs=4, subtype="full", path="/nfs/bt"))
+        return (res.execution_time, res.io_time, res.write_time, res.read_time)
+
+    assert once() == once()
+
+
+def test_btio_simple_deterministic():
+    def once():
+        system = build_system(Environment(), small_config(n_compute=2))
+        res = run_btio(system, BTIOConfig(clazz="S", nprocs=4, subtype="simple", path="/nfs/bt"))
+        return (res.execution_time, res.io_time)
+
+    assert once() == once()
+
+
+def test_madbench_deterministic():
+    def once():
+        system = build_system(Environment(), small_config(n_compute=2))
+        res = run_madbench(
+            system,
+            MadBenchConfig(kpix=1, nbin=2, nprocs=2, filetype="shared", path="/nfs/mb", busywork_s=0.01),
+        )
+        return (res.execution_time, res.time("S_w"), res.time("C_r"))
+
+    assert once() == once()
+
+
+def test_trace_event_stream_identical():
+    def once():
+        system = build_system(Environment(), small_config(n_compute=2))
+        res = run_btio(system, BTIOConfig(clazz="S", nprocs=4, subtype="full", path="/nfs/bt"))
+        return [(e.rank, e.op, e.t_start, e.t_end) for e in res.tracer.events]
+
+    assert once() == once()

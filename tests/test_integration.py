@@ -1,0 +1,143 @@
+"""Integration tests: the paper's qualitative conclusions at reduced
+scale (class W / fewer ranks so the suite stays fast)."""
+
+import pytest
+
+from repro.simengine import Environment
+from repro.core import Methodology, characterize_app, generate_used_percentage
+from repro.clusters.builder import build_system
+from repro.storage.base import KiB, MiB
+from repro.workloads.apps import BTIOApplication
+from repro.workloads.btio import BTIOConfig, run_btio
+from repro.workloads.madbench import MadBenchConfig, run_madbench
+from conftest import small_config
+
+KW = dict(block_sizes=(64 * KiB, 1 * MiB), char_file_bytes=16 * MiB,
+          ior_nprocs=2, ior_file_bytes=8 * MiB)
+
+
+@pytest.fixture(scope="module")
+def method():
+    m = Methodology({d: small_config(d) for d in ("jbod", "raid5")}, **KW)
+    m.characterize()
+    return m
+
+
+@pytest.fixture(scope="module")
+def btio_reports(method):
+    out = {}
+    for subtype in ("full", "simple"):
+        app = BTIOApplication(BTIOConfig(clazz="W", nprocs=4, subtype=subtype, path="/nfs/bt"))
+        out[subtype] = method.evaluate(app)
+    return out
+
+
+class TestPaperShapes:
+    def test_full_more_efficient_than_simple(self, btio_reports):
+        """'The full subtype is a more efficient implementation than the
+        simple subtype for NAS BT-IO.'"""
+        for cfg in ("jbod", "raid5"):
+            full = btio_reports["full"][cfg]
+            simple = btio_reports["simple"][cfg]
+            assert full.execution_time_s < simple.execution_time_s
+            assert full.throughput_Bps > simple.throughput_Bps
+
+    def test_simple_uses_small_fraction_of_write_capacity(self, btio_reports):
+        """'...for the simple subtype this I/O system is only used ~30% on
+        reading and less than 15% on writing operations.'"""
+        for cfg in ("jbod", "raid5"):
+            pct = btio_reports["simple"][cfg].used.cell("nfs", "write")
+            assert pct is not None and pct < 35.0
+
+    def test_full_exploits_capacity(self, btio_reports):
+        """'the capacity of I/O system for class C is exploited' — the
+        full subtype reaches a large share of the characterized rates."""
+        pct = btio_reports["full"]["jbod"].used.cell("nfs", "write")
+        assert pct is not None and pct > 50.0
+
+    def test_simple_more_io_bound(self, btio_reports):
+        for cfg in ("jbod", "raid5"):
+            assert (
+                btio_reports["simple"][cfg].io_fraction
+                > btio_reports["full"][cfg].io_fraction
+            )
+
+    def test_simple_far_from_capacity_on_both_ops(self, btio_reports):
+        """Both operations of the simple subtype sit far below the
+        characterized capacity (the read>write relation of paper
+        Tables III/IV emerges at class-C scale; see benchmarks/)."""
+        used = btio_reports["simple"]["jbod"].used
+        assert used.cell("nfs", "write") < 35.0
+        assert used.cell("nfs", "read") < 35.0
+
+
+class TestUsedPercentageFlow:
+    def test_profile_to_used_table_by_hand(self, method):
+        system = build_system(Environment(), small_config("jbod"))
+        res = run_btio(system, BTIOConfig(clazz="W", nprocs=4, subtype="full", path="/nfs/bt"))
+        profile = characterize_app(res.tracer)
+        used = generate_used_percentage("jbod", profile, method.tables["jbod"])
+        assert used.cell("nfs", "write") is not None
+        assert used.cell("localfs", "write") is not None
+        assert used.cell("iolib", "write") is not None
+
+
+class TestMadbenchShapes:
+    def run_mb(self, device, filetype):
+        system = build_system(Environment(), small_config(device))
+        return run_madbench(
+            system,
+            MadBenchConfig(kpix=2, nbin=4, nprocs=4, filetype=filetype,
+                           path="/nfs/mb", busywork_s=0.05),
+        )
+
+    def test_raid5_outperforms_jbod(self):
+        """Paper §IV-F: 'the most suitable configuration is RAID 5'."""
+        jbod = self.run_mb("jbod", "shared")
+        raid5 = self.run_mb("raid5", "shared")
+        assert raid5.io_time <= jbod.io_time * 1.05
+
+    def test_both_filetypes_complete_with_same_data_volume(self):
+        u = self.run_mb("jbod", "unique")
+        s = self.run_mb("jbod", "shared")
+        assert u.functions["S"].bytes_written == s.functions["S"].bytes_written
+
+
+class TestDegradedEndToEnd:
+    """Failure injection through the whole stack: an application keeps
+    running on a degraded redundant array, dies on JBOD."""
+
+    def test_btio_completes_on_degraded_raid5(self):
+        healthy = build_system(Environment(), small_config("raid5"))
+        r1 = run_btio(healthy, BTIOConfig(clazz="S", nprocs=4, subtype="full", path="/nfs/bt"))
+
+        degraded = build_system(Environment(), small_config("raid5"))
+        degraded.server_node.array.fail_disk(0)
+        r2 = run_btio(degraded, BTIOConfig(clazz="S", nprocs=4, subtype="full", path="/nfs/bt"))
+        assert r2.execution_time >= r1.execution_time  # never faster degraded
+
+    def test_nfs_on_dead_jbod_raises(self):
+        system = build_system(Environment(), small_config("jbod"))
+        system.server_node.array.fail_disk(0)
+        mount = system.nfs_mounts["n0"]
+        env = system.env
+        with pytest.raises(RuntimeError, match="lost data"):
+            env.run(mount.create("/f"))
+
+    def test_degraded_raid5_read_rate_drops(self):
+        from repro.storage.base import IORequest
+
+        def read_rate(fail):
+            system = build_system(Environment(), small_config("raid5"))
+            if fail:
+                system.local_fs["n0"].array.fail_disk(1)
+            fs = system.local_fs["n0"]
+            env = system.env
+            inode = env.run(fs.create("/d"))
+            env.run(fs.submit(inode, IORequest("write", 0, 1 * MiB, count=128)))
+            env.run(fs.sync())
+            t0 = env.now
+            env.run(fs.submit(inode, IORequest("read", 0, 1 * MiB, count=128)))
+            return 128 * MiB / (env.now - t0)
+
+        assert read_rate(fail=True) < read_rate(fail=False)

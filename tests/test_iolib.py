@@ -1,0 +1,96 @@
+"""Tests for the I/O-library internals: sieving plans and aggregation."""
+
+import pytest
+
+from repro.iolib import (
+    all_ranks,
+    DEFAULT_BUFFER,
+    fixed_count,
+    one_per_node,
+    plan_sieve,
+    select_aggregators,
+    should_sieve,
+)
+from repro.storage.base import IORequest, KiB, MiB
+
+
+class TestShouldSieve:
+    def test_dense_never_sieved(self):
+        assert not should_sieve(IORequest("read", 0, 1 * MiB, count=4))
+
+    def test_random_never_sieved(self):
+        assert not should_sieve(IORequest("read", 0, 4 * KiB, count=100, stride=-1))
+
+    def test_single_op_never_sieved(self):
+        assert not should_sieve(IORequest("read", 0, 4 * KiB))
+
+    def test_dense_enough_strided_sieved(self):
+        # BT-IO's regime: 1600B pieces every 6480B -> density ~0.25
+        assert should_sieve(IORequest("read", 0, 1600, count=1000, stride=6480))
+
+    def test_too_sparse_not_sieved(self):
+        assert not should_sieve(IORequest("read", 0, 1 * KiB, count=100, stride=64 * KiB))
+
+    def test_large_pieces_not_sieved(self):
+        assert not should_sieve(IORequest("read", 0, 2 * MiB, count=8, stride=4 * MiB))
+
+
+class TestPlanSieve:
+    def test_covers_span_exactly(self):
+        req = IORequest("read", 1000, 1600, count=100, stride=6480)
+        plan = plan_sieve(req, buffer_bytes=64 * KiB)
+        assert sum(r.nbytes for r in plan.requests) == req.span
+        assert plan.requests[0].offset == 1000
+        # contiguous, ordered chunks
+        for a, b in zip(plan.requests, plan.requests[1:]):
+            assert b.offset == a.offset + a.nbytes
+
+    def test_chunks_bounded_by_buffer(self):
+        req = IORequest("read", 0, 1600, count=1000, stride=6480)
+        plan = plan_sieve(req, buffer_bytes=64 * KiB)
+        assert all(r.nbytes <= 64 * KiB for r in plan.requests)
+
+    def test_efficiency(self):
+        req = IORequest("read", 0, 1600, count=100, stride=3200)
+        plan = plan_sieve(req)
+        assert plan.efficiency == pytest.approx(req.total_bytes / req.span)
+
+    def test_bad_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            plan_sieve(IORequest("read", 0, 10, count=2, stride=20), buffer_bytes=0)
+
+    def test_op_preserved(self):
+        req = IORequest("write", 0, 10, count=4, stride=20)
+        plan = plan_sieve(req)
+        assert all(r.op == "write" for r in plan.requests)
+
+
+class TestAggregation:
+    NODES = ["n0", "n0", "n1", "n1", "n2", "n2"]
+
+    def test_one_per_node(self):
+        assert one_per_node(self.NODES) == [0, 2, 4]
+
+    def test_fixed_count_subset(self):
+        assert fixed_count(self.NODES, 2) == [0, 2]
+
+    def test_fixed_count_more_than_nodes(self):
+        out = fixed_count(self.NODES, 5)
+        assert len(out) == 5
+        assert set([0, 2, 4]).issubset(out)
+
+    def test_fixed_count_validation(self):
+        with pytest.raises(ValueError):
+            fixed_count(self.NODES, 0)
+
+    def test_all_ranks(self):
+        assert all_ranks(self.NODES) == list(range(6))
+
+    def test_select_dispatch(self):
+        assert select_aggregators(self.NODES, None) == [0, 2, 4]
+        assert select_aggregators(self.NODES, 2) == [0, 2]
+        assert select_aggregators(self.NODES, 6) == list(range(6))
+        assert select_aggregators(self.NODES, 100) == list(range(6))
+
+    def test_default_buffer_sane(self):
+        assert DEFAULT_BUFFER == 4 * MiB

@@ -1,0 +1,97 @@
+"""IOzone and IOR workload tests (small scale)."""
+
+import pytest
+
+from repro.simengine import Environment
+from repro.clusters.builder import build_system
+from repro.storage.base import AccessMode, KiB, MiB
+from repro.workloads import run_iozone, run_ior
+from conftest import small_config
+
+
+BLOCKS = (64 * KiB, 1 * MiB)
+
+
+def test_iozone_produces_all_sequential_tests(system):
+    res = run_iozone(system, "n0", "/local/z.tmp", file_bytes=32 * MiB,
+                     block_sizes=BLOCKS, include_strided=False, include_random=False)
+    tests = {r.test for r in res.rows}
+    assert tests == {"write", "rewrite", "read", "reread"}
+    assert len(res.rows) == 4 * len(BLOCKS)
+
+
+def test_iozone_rates_positive_and_bounded(system):
+    res = run_iozone(system, "n0", "/local/z.tmp", file_bytes=32 * MiB, block_sizes=BLOCKS,
+                     include_strided=False, include_random=False)
+    for r in res.rows:
+        assert 0 < r.rate_Bps < 10e9
+        assert r.elapsed_s > 0
+
+
+def test_iozone_default_file_is_twice_ram(system):
+    res = run_iozone(system, "n0", "/local/z.tmp", block_sizes=(1 * MiB,),
+                     include_strided=False, include_random=False)
+    assert res.file_bytes == 2 * system.node("n0").spec.ram_bytes
+
+
+def test_iozone_strided_and_random_modes(system):
+    res = run_iozone(system, "n0", "/local/z.tmp", file_bytes=32 * MiB,
+                     block_sizes=(64 * KiB,), include_strided=True, include_random=True)
+    modes = {r.mode for r in res.rows}
+    assert modes == {AccessMode.SEQUENTIAL, AccessMode.STRIDED, AccessMode.RANDOM}
+
+
+def test_iozone_sequential_writes_faster_than_random(system):
+    res = run_iozone(system, "n0", "/local/z.tmp", file_bytes=64 * MiB,
+                     block_sizes=(64 * KiB,), include_random=True, include_strided=False)
+    seq = res.rate("write", 64 * KiB)
+    rnd = res.rate("random_write", 64 * KiB)
+    assert seq > rnd
+
+
+def test_iozone_rate_lookup_raises_for_missing(system):
+    res = run_iozone(system, "n0", "/local/z.tmp", file_bytes=16 * MiB, block_sizes=(64 * KiB,),
+                     include_strided=False, include_random=False)
+    with pytest.raises(KeyError):
+        res.rate("write", 123)
+
+
+def test_iozone_nfs_vs_local(system):
+    local = run_iozone(system, "n0", "/local/z.tmp", file_bytes=32 * MiB,
+                       block_sizes=(1 * MiB,), include_strided=False, include_random=False)
+    nfs = run_iozone(system, "n0", "/nfs/z.tmp", file_bytes=32 * MiB,
+                     block_sizes=(1 * MiB,), include_strided=False, include_random=False)
+    # both work; NFS bounded by wire, local by disk
+    assert nfs.rate("write", 1 * MiB) > 0
+    assert local.rate("write", 1 * MiB) > 0
+
+
+def test_ior_rows_per_block_and_op():
+    system = build_system(Environment(), small_config(n_compute=2))
+    res = run_ior(system, 4, block_sizes=(1 * MiB, 4 * MiB), file_bytes=32 * MiB)
+    assert len(res.rows) == 4  # 2 blocks x {read, write}
+    assert {r.op for r in res.rows} == {"read", "write"}
+    for r in res.rows:
+        assert r.aggregate_rate_Bps > 0
+        assert r.nprocs == 4
+
+
+def test_ior_rate_lookup():
+    system = build_system(Environment(), small_config(n_compute=2))
+    res = run_ior(system, 2, block_sizes=(1 * MiB,), file_bytes=8 * MiB)
+    assert res.rate("write", 1 * MiB) > 0
+    with pytest.raises(KeyError):
+        res.rate("write", 999)
+
+
+def test_ior_collective_vs_independent():
+    for collective in (True, False):
+        system = build_system(Environment(), small_config(n_compute=2))
+        res = run_ior(system, 2, block_sizes=(1 * MiB,), file_bytes=8 * MiB, collective=collective)
+        assert res.rate("write", 1 * MiB) > 0
+
+
+def test_ior_aggregate_exceeds_zero_and_below_memcpy():
+    system = build_system(Environment(), small_config(n_compute=2))
+    res = run_ior(system, 2, block_sizes=(4 * MiB,), file_bytes=16 * MiB)
+    assert res.rate("read", 4 * MiB) < 10e9

@@ -1,0 +1,54 @@
+"""Latency/IOPs characterization tests (paper Fig. 2's other metrics)."""
+
+import pytest
+
+from repro.core.latency import characterize_latency, measure_latency_iops
+from repro.simengine import Environment
+from repro.clusters.builder import build_system
+from conftest import small_config
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return characterize_latency(small_config())
+
+
+def test_all_levels_profiled(profiles):
+    assert set(profiles) == {"iolib", "nfs", "localfs"}
+
+
+def test_latencies_positive_and_sane(profiles):
+    for p in profiles.values():
+        assert 0 < p.read_latency_s < 1.0
+        assert 0 < p.write_latency_s < 1.0
+        assert p.read_iops > 1
+        assert p.write_iops > 1
+
+
+def test_network_levels_add_latency_over_local(profiles):
+    """An NFS round trip cannot be faster than the local medium it
+    ultimately lands on plus the wire."""
+    assert profiles["nfs"].read_latency_s > 1e-4  # at least the RTT
+
+
+def test_local_read_iops_disk_scale(profiles):
+    # scattered 4K reads on one spindle: tens to hundreds of IOPs
+    assert 20 < profiles["localfs"].read_iops < 5000
+
+
+def test_render(profiles):
+    text = profiles["localfs"].render()
+    assert "localfs" in text and "IOPs" in text
+
+
+def test_measure_on_existing_system():
+    system = build_system(Environment(), small_config())
+    p = measure_latency_iops(system, "localfs")
+    assert p.level == "localfs"
+    assert p.read_iops > 0
+
+
+def test_unknown_level_rejected():
+    system = build_system(Environment(), small_config())
+    with pytest.raises(ValueError):
+        measure_latency_iops(system, "tape")

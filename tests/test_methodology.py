@@ -1,0 +1,118 @@
+"""End-to-end methodology facade tests on tiny systems."""
+
+import pytest
+
+from repro.core import Methodology
+from repro.storage.base import KiB, MiB
+from repro.workloads.apps import BTIOApplication, MadBenchApplication
+from repro.workloads.btio import BTIOConfig
+from repro.workloads.madbench import MadBenchConfig
+from conftest import small_config
+
+KW = dict(block_sizes=(64 * KiB, 1 * MiB), char_file_bytes=16 * MiB,
+          ior_nprocs=2, ior_file_bytes=8 * MiB)
+
+
+@pytest.fixture(scope="module")
+def methodology():
+    m = Methodology({d: small_config(d) for d in ("jbod", "raid5")}, **KW)
+    m.characterize()
+    return m
+
+
+def test_requires_configs():
+    with pytest.raises(ValueError):
+        Methodology({})
+
+
+def test_characterize_builds_tables_per_config(methodology):
+    assert set(methodology.tables) == {"jbod", "raid5"}
+    for tables in methodology.tables.values():
+        assert set(tables) == {"iolib", "nfs", "localfs"}
+        assert all(len(t) > 0 for t in tables.values())
+
+
+def test_factors_per_config(methodology):
+    factors = methodology.factors()
+    assert factors["raid5"].server_organization == "raid5"
+    assert factors["jbod"].server_organization == "jbod"
+
+
+def test_evaluate_requires_characterization_first():
+    m = Methodology({"jbod": small_config("jbod")}, **KW)
+    app = BTIOApplication(BTIOConfig(clazz="S", nprocs=4, subtype="full", path="/nfs/bt"))
+    with pytest.raises(RuntimeError):
+        m.evaluate(app)
+
+
+def test_evaluate_btio(methodology):
+    app = BTIOApplication(BTIOConfig(clazz="S", nprocs=4, subtype="full", path="/nfs/bt"))
+    reports = methodology.evaluate(app)
+    assert set(reports) == {"jbod", "raid5"}
+    for rep in reports.values():
+        assert rep.execution_time_s > 0
+        assert rep.io_time_s > 0
+        assert rep.used.rows
+        assert rep.profile.measures
+
+
+def test_evaluate_madbench(methodology):
+    app = MadBenchApplication(
+        MadBenchConfig(kpix=1, nbin=2, nprocs=2, filetype="shared", path="/nfs/mb", busywork_s=0.01)
+    )
+    reports = methodology.evaluate(app, names=["jbod"])
+    rep = reports["jbod"]
+    assert rep.bytes_written > 0 and rep.bytes_read > 0
+    assert rep.used.cell("nfs", "write") is not None
+
+
+def test_recommend_ranks_all_characterized(methodology):
+    app = BTIOApplication(BTIOConfig(clazz="S", nprocs=4, subtype="full", path="/nfs/bt"))
+    reports = methodology.evaluate(app, names=["jbod"])
+    ranked = methodology.recommend(reports["jbod"].profile)
+    assert len(ranked) == 2
+    assert ranked[0].expected_rate_Bps >= ranked[1].expected_rate_Bps
+
+
+def test_recommend_with_redundancy_filters_jbod(methodology):
+    app = BTIOApplication(BTIOConfig(clazz="S", nprocs=4, subtype="full", path="/nfs/bt"))
+    reports = methodology.evaluate(app, names=["jbod"])
+    ranked = methodology.recommend(reports["jbod"].profile, require_redundancy=True)
+    assert [s.name for s in ranked] == ["raid5"]
+
+
+def test_app_names():
+    bt = BTIOApplication(BTIOConfig(clazz="C", nprocs=16, subtype="simple"))
+    assert bt.name == "btio-C-16p-simple"
+    mb = MadBenchApplication(MadBenchConfig(nprocs=16, filetype="unique"))
+    assert mb.name == "madbench-16p-unique"
+
+
+def test_save_and_load_tables(methodology, tmp_path):
+    written = methodology.save_tables(tmp_path)
+    assert "jbod_nfs.csv" in written
+    assert "raid5_localfs.csv" in written
+    assert len(written) == 6  # 2 configs x 3 levels
+
+    fresh = Methodology({d: small_config(d) for d in ("jbod", "raid5")}, **KW)
+    assert fresh.tables == {}
+    fresh.load_tables(tmp_path)
+    assert set(fresh.tables) == {"jbod", "raid5"}
+    for tables in fresh.tables.values():
+        assert set(tables) == {"iolib", "nfs", "localfs"}
+    # loaded tables answer lookups identically
+    from repro.storage.base import AccessType
+
+    orig = methodology.tables["jbod"]["nfs"].lookup("write", 1 * MiB, AccessType.GLOBAL)
+    back = fresh.tables["jbod"]["nfs"].lookup("write", 1 * MiB, AccessType.GLOBAL)
+    assert back == pytest.approx(orig, rel=1e-3)
+
+
+def test_load_tables_missing_files_partial(methodology, tmp_path):
+    # save only, then delete one file: load skips it gracefully
+    methodology.save_tables(tmp_path)
+    (tmp_path / "jbod_nfs.csv").unlink()
+    fresh = Methodology({d: small_config(d) for d in ("jbod", "raid5")}, **KW)
+    fresh.load_tables(tmp_path)
+    assert "nfs" not in fresh.tables["jbod"]
+    assert "nfs" in fresh.tables["raid5"]

@@ -1,0 +1,218 @@
+"""MPI-IO tests: opens, independent vs collective, two-phase, hints."""
+
+import pytest
+
+from repro.mpi.io import IOHints
+from repro.simengine import Environment
+from repro.storage.base import KiB, MiB
+from repro.clusters.builder import build_system
+from repro.tracing import IOTracer
+from conftest import small_config
+
+
+def make_world(nprocs=4, n_compute=2, io_hints=None, tracer=None):
+    system = build_system(Environment(), small_config(n_compute=n_compute))
+    return system, system.world(nprocs, io_hints=io_hints, tracer=tracer)
+
+
+class TestOpen:
+    def test_collective_open_shares_inode_on_nfs(self):
+        system, w = make_world(4)
+        inodes = {}
+
+        def prog(mpi):
+            f = yield mpi.file_open("/nfs/shared.dat", "w")
+            inodes[mpi.rank] = f.inode
+            yield f.close()
+
+        system.env.run(w.run_program(prog))
+        assert len({id(i) for i in inodes.values()}) == 1
+
+    def test_collective_open_local_creates_per_node_files(self):
+        system, w = make_world(4, n_compute=2)
+        inodes = {}
+
+        def prog(mpi):
+            f = yield mpi.file_open("/local/out.dat", "w")
+            inodes[mpi.rank] = f.inode
+            yield f.close()
+
+        system.env.run(w.run_program(prog))
+        # ranks on the same node share; across nodes they differ
+        assert inodes[0] is inodes[1]
+        assert inodes[0] is not inodes[2]
+
+    def test_open_self_unique_files(self):
+        system, w = make_world(2)
+
+        def prog(mpi):
+            f = yield mpi.file_open_self(f"/nfs/u{mpi.rank}.dat", "w")
+            yield f.write_at(0, 64 * KiB)
+            yield f.close_self()
+
+        system.env.run(w.run_program(prog))
+        assert system.export.exists("/nfs/u0.dat")
+        assert system.export.exists("/nfs/u1.dat")
+
+    def test_read_mode_keeps_existing_data(self):
+        system, w = make_world(2)
+        sizes = {}
+
+        def writer(mpi):
+            f = yield mpi.file_open("/nfs/data.dat", "w")
+            yield f.write_at(0, 1 * MiB)
+            yield f.close()
+
+        def reader(mpi):
+            f = yield mpi.file_open("/nfs/data.dat", "r")
+            sizes[mpi.rank] = f.size
+            yield f.close()
+
+        system.env.run(w.run_program(writer))
+        w2 = system.world(2)
+        system.env.run(w2.run_program(reader))
+        assert sizes[0] == 1 * MiB
+
+
+class TestIndependent:
+    def test_write_then_read_roundtrip(self):
+        system, w = make_world(2)
+        got = {}
+
+        def prog(mpi):
+            f = yield mpi.file_open("/nfs/i.dat", "w")
+            n = yield f.write_at(mpi.rank * MiB, 1 * MiB)
+            got[("w", mpi.rank)] = n
+            yield mpi.barrier()
+            n = yield f.read_at(mpi.rank * MiB, 1 * MiB)
+            got[("r", mpi.rank)] = n
+            yield f.close()
+
+        system.env.run(w.run_program(prog))
+        assert got[("w", 0)] == MiB and got[("r", 1)] == MiB
+
+    def test_sparse_independent_slower_than_dense(self):
+        def run_one(sparse):
+            system, w = make_world(2)
+
+            def prog(mpi):
+                f = yield mpi.file_open("/nfs/i.dat", "w")
+                if sparse:
+                    yield f.write_at(0, 2 * KiB, count=512, stride=8 * KiB)
+                else:
+                    yield f.write_at(0, 1 * MiB)
+                yield f.close()
+
+            system.env.run(w.run_program(prog))
+            return system.env.now
+
+        assert run_one(sparse=True) > 3 * run_one(sparse=False)
+
+
+class TestCollective:
+    def test_write_at_all_produces_large_server_ops(self):
+        tracer = IOTracer()
+        system, w = make_world(4, tracer=tracer)
+
+        def prog(mpi):
+            f = yield mpi.file_open("/nfs/c.dat", "w")
+            yield f.write_at_all(mpi.rank * MiB, 1 * MiB)
+            yield f.close()
+
+        system.env.run(w.run_program(prog))
+        assert system.export.stat("/nfs/c.dat").size == 4 * MiB
+        evs = [e for e in tracer.events if e.op == "write"]
+        assert all(e.collective for e in evs)
+        assert len(evs) == 4
+
+    def test_collective_faster_than_independent_for_small_strided(self):
+        def run_one(collective):
+            system, w = make_world(4)
+
+            def prog(mpi):
+                f = yield mpi.file_open("/nfs/c.dat", "w")
+                if collective:
+                    yield f.write_at_all(mpi.rank * 256 * KiB, 2 * KiB, count=128, stride=2 * KiB)
+                else:
+                    yield f.write_at(mpi.rank * 256 * KiB, 2 * KiB, count=128, stride=4 * KiB)
+                yield f.close()
+
+            system.env.run(w.run_program(prog))
+            return system.env.now
+
+        assert run_one(True) < run_one(False)
+
+    def test_collective_disabled_hint_falls_back_to_independent(self):
+        tracer = IOTracer()
+        system, w = make_world(2, io_hints={"collective": False}, tracer=tracer)
+
+        def prog(mpi):
+            f = yield mpi.file_open("/nfs/c.dat", "w")
+            yield f.write_at_all(mpi.rank * MiB, 1 * MiB)
+            yield f.close()
+
+        system.env.run(w.run_program(prog))
+        assert all(not e.collective for e in tracer.events if e.op == "write")
+
+    def test_cb_nodes_hint_limits_aggregators(self):
+        system, w = make_world(4, n_compute=2, io_hints={"cb_nodes": 1})
+
+        def prog(mpi):
+            f = yield mpi.file_open("/nfs/c.dat", "w")
+            yield f.write_at_all(mpi.rank * MiB, 1 * MiB)
+            yield f.close()
+
+        system.env.run(w.run_program(prog))
+        assert system.export.stat("/nfs/c.dat").size == 4 * MiB
+
+    def test_read_at_all(self):
+        system, w = make_world(4)
+
+        def prog(mpi):
+            f = yield mpi.file_open("/nfs/c.dat", "w")
+            yield f.write_at_all(mpi.rank * MiB, 1 * MiB)
+            yield mpi.barrier()
+            n = yield f.read_at_all(mpi.rank * MiB, 1 * MiB)
+            yield f.close()
+            return n
+
+        values = system.env.run(w.run_program(prog))
+        assert values == [MiB] * 4
+
+
+class TestDataSieving:
+    def test_ds_read_hint_reduces_time_for_dense_enough_pattern(self):
+        def run_one(ds):
+            hints = {"ds_read": ds}
+            system, w = make_world(2, io_hints=hints)
+
+            def prog(mpi):
+                f = yield mpi.file_open("/nfs/s.dat", "w")
+                yield f.write_at(0, 4 * MiB)
+                yield mpi.barrier()
+                yield f.read_at(0, 2 * KiB, count=256, stride=8 * KiB)
+                yield f.close()
+
+            system.env.run(w.run_program(prog))
+            return system.env.now
+
+        assert run_one(True) < run_one(False)
+
+
+class TestTracing:
+    def test_events_carry_geometry(self):
+        tracer = IOTracer()
+        system, w = make_world(2, tracer=tracer)
+
+        def prog(mpi):
+            f = yield mpi.file_open("/nfs/t.dat", "w")
+            yield f.write_at(0, 64 * KiB, count=4, stride=128 * KiB)
+            yield f.close()
+
+        system.env.run(w.run_program(prog))
+        ev = tracer.events[0]
+        assert ev.nbytes == 64 * KiB
+        assert ev.count == 4
+        assert ev.stride == 128 * KiB
+        assert ev.duration > 0
+        assert ev.path == "/nfs/t.dat"

@@ -1,0 +1,90 @@
+"""Node / Cluster hardware-container tests."""
+
+import pytest
+
+from repro.simengine import Environment
+from repro.hardware import (
+    Cluster,
+    GIGABIT,
+    Network,
+    Node,
+    NodeSpec,
+    RAIDConfig,
+    RAIDLevel,
+)
+from repro.storage.base import GiB, MiB
+
+
+def test_node_defaults():
+    env = Environment()
+    n = Node(env, "x")
+    assert n.cpu.capacity == n.spec.cores
+    assert n.array is None
+
+
+def test_node_with_storage():
+    env = Environment()
+    n = Node(env, "x", storage=RAIDConfig(level=RAIDLevel.JBOD, ndisks=1))
+    assert n.array is not None
+    assert n.array.capacity_bytes > 0
+
+
+def test_compute_time_scales_with_flops():
+    env = Environment()
+    n = Node(env, "x", NodeSpec(core_gflops=2.0))
+    assert n.compute_time(2e9) == pytest.approx(1.0)
+    assert n.compute_time(4e9) == pytest.approx(2.0)
+
+
+def test_compute_occupies_a_core():
+    env = Environment()
+    n = Node(env, "x", NodeSpec(cores=1, core_gflops=1.0))
+
+    def prog():
+        yield from n.compute(1e9)
+        return env.now
+
+    assert env.run(env.process(prog())) == pytest.approx(1.0)
+
+
+def test_cores_limit_parallel_compute():
+    env = Environment()
+    n = Node(env, "x", NodeSpec(cores=2, core_gflops=1.0))
+    done = []
+
+    def prog(tag):
+        yield from n.compute(1e9)
+        done.append((tag, env.now))
+
+    for t in range(4):
+        env.process(prog(t))
+    env.run()
+    times = sorted(t for _tag, t in done)
+    assert times[:2] == [pytest.approx(1.0)] * 2
+    assert times[2:] == [pytest.approx(2.0)] * 2
+
+
+def test_memcpy_time():
+    env = Environment()
+    n = Node(env, "x", NodeSpec(memcpy_Bps=1000.0 * MiB))
+    assert n.memcpy_time(500 * MiB) == pytest.approx(0.5)
+
+
+def test_cluster_networks_shared_flag():
+    env = Environment()
+    c = Cluster(env)
+    net = Network(env, ["a", "b"], GIGABIT)
+    c.set_networks(net)
+    assert c.shared_network
+    c2 = Cluster(env)
+    c2.set_networks(net, Network(env, ["a", "b"], GIGABIT))
+    assert not c2.shared_network
+
+
+def test_cluster_compute_nodes_skip_io_prefix():
+    env = Environment()
+    c = Cluster(env)
+    c.add_node(Node(env, "n0"))
+    c.add_node(Node(env, "ionode"))
+    names = [n.name for n in c.compute_nodes()]
+    assert names == ["n0"]

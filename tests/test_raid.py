@@ -1,0 +1,161 @@
+"""RAID array tests: level semantics, caching, parity penalties."""
+
+import pytest
+
+from repro.simengine import Environment
+from repro.hardware.disk import DiskSpec
+from repro.hardware.raid import RAIDArray, RAIDConfig, RAIDLevel
+from repro.storage.base import KiB, MiB
+
+
+def make(env, level, ndisks, write_back=False, **kw):
+    return RAIDArray(env, RAIDConfig(level=level, ndisks=ndisks, write_back=write_back, **kw))
+
+
+def rate_of(level, ndisks, op, nbytes=1 * MiB, count=256, **kw):
+    env = Environment()
+    arr = make(env, level, ndisks, **kw)
+    env.run(arr.submit(op, 0, nbytes, count=count))
+    if kw.get("write_back"):
+        env.run(arr.flush())
+    return nbytes * count / env.now
+
+
+class TestConfigValidation:
+    def test_min_disk_counts(self):
+        for level, n in ((RAIDLevel.RAID1, 1), (RAIDLevel.RAID5, 2), (RAIDLevel.RAID6, 3), (RAIDLevel.RAID10, 2)):
+            with pytest.raises(ValueError):
+                RAIDConfig(level=level, ndisks=n)
+
+    def test_raid10_even_disks(self):
+        with pytest.raises(ValueError):
+            RAIDConfig(level=RAIDLevel.RAID10, ndisks=5)
+
+    def test_capacity(self):
+        d = DiskSpec()
+        assert RAIDConfig(level=RAIDLevel.JBOD, ndisks=1, disk=d).capacity_bytes == d.capacity_bytes
+        assert RAIDConfig(level=RAIDLevel.RAID1, ndisks=2, disk=d).capacity_bytes == d.capacity_bytes
+        assert RAIDConfig(level=RAIDLevel.RAID5, ndisks=5, disk=d).capacity_bytes == 4 * d.capacity_bytes
+        assert RAIDConfig(level=RAIDLevel.RAID6, ndisks=6, disk=d).capacity_bytes == 4 * d.capacity_bytes
+        assert RAIDConfig(level=RAIDLevel.RAID10, ndisks=4, disk=d).capacity_bytes == 2 * d.capacity_bytes
+
+    def test_data_disks(self):
+        assert RAIDConfig(level=RAIDLevel.RAID5, ndisks=5).data_disks == 4
+        assert RAIDConfig(level=RAIDLevel.RAID1, ndisks=2).data_disks == 1
+
+
+class TestThroughputShapes:
+    def test_raid0_read_scales_with_members(self):
+        single = rate_of(RAIDLevel.JBOD, 1, "read")
+        striped = rate_of(RAIDLevel.RAID0, 4, "read")
+        assert striped > 3.0 * single
+
+    def test_raid1_read_faster_than_single(self):
+        single = rate_of(RAIDLevel.JBOD, 1, "read")
+        mirrored = rate_of(RAIDLevel.RAID1, 2, "read")
+        assert mirrored > 1.5 * single
+
+    def test_raid1_write_not_faster_than_single(self):
+        single = rate_of(RAIDLevel.JBOD, 1, "write")
+        mirrored = rate_of(RAIDLevel.RAID1, 2, "write")
+        assert mirrored <= 1.05 * single
+
+    def test_raid5_read_approx_n_minus_1(self):
+        single = rate_of(RAIDLevel.JBOD, 1, "read")
+        r5 = rate_of(RAIDLevel.RAID5, 5, "read")
+        assert 3.0 * single < r5 < 4.5 * single
+
+    def test_raid5_full_stripe_write_parallel(self):
+        single = rate_of(RAIDLevel.JBOD, 1, "write")
+        r5 = rate_of(RAIDLevel.RAID5, 5, "write")
+        assert r5 > 1.5 * single
+
+    def test_raid5_small_write_penalty(self):
+        """Scattered sub-stripe writes cost 4 member ops each: RAID5 loses
+        most of its 5-way parallelism versus a same-width RAID0."""
+        env0 = Environment()
+        r0 = make(env0, RAIDLevel.RAID0, 5)
+        env0.run(r0.submit("write", 0, 4 * KiB, count=200, stride=16 * MiB))
+        env2 = Environment()
+        r5 = make(env2, RAIDLevel.RAID5, 5)
+        env2.run(r5.submit("write", 0, 4 * KiB, count=200, stride=16 * MiB))
+        r0_iops = 200 / env0.now
+        r5_iops = 200 / env2.now
+        assert r5_iops < 0.4 * r0_iops  # the classic 4x RMW penalty
+
+    def test_raid6_small_write_worse_than_raid5(self):
+        env1 = Environment()
+        r5 = make(env1, RAIDLevel.RAID5, 6)
+        env1.run(r5.submit("write", 0, 4 * KiB, count=100, stride=16 * MiB))
+        env2 = Environment()
+        r6 = make(env2, RAIDLevel.RAID6, 6)
+        env2.run(r6.submit("write", 0, 4 * KiB, count=100, stride=16 * MiB))
+        assert env2.now > env1.now
+
+    def test_raid10_write_faster_than_raid1(self):
+        r1 = rate_of(RAIDLevel.RAID1, 2, "write")
+        r10 = rate_of(RAIDLevel.RAID10, 4, "write")
+        assert r10 > 1.4 * r1
+
+    def test_sparse_reads_distribute_over_members(self):
+        env1 = Environment()
+        jbod = make(env1, RAIDLevel.JBOD, 1)
+        env1.run(jbod.submit("read", 0, 4 * KiB, count=400, stride=16 * MiB))
+        env2 = Environment()
+        r5 = make(env2, RAIDLevel.RAID5, 5)
+        env2.run(r5.submit("read", 0, 4 * KiB, count=400, stride=16 * MiB))
+        assert env2.now < env1.now  # parallel seeks across spindles
+
+
+class TestWriteBackCache:
+    def test_burst_absorbed_at_bus_speed(self):
+        env = Environment()
+        arr = make(env, RAIDLevel.JBOD, 1, write_back=True)
+        env.run(arr.submit("write", 0, 1 * MiB, count=16))
+        burst_rate = 16 * MiB / env.now
+        assert burst_rate > 1.5 * arr.config.disk.outer_rate_Bps
+
+    def test_flush_event_drains_dirty(self):
+        env = Environment()
+        arr = make(env, RAIDLevel.JBOD, 1, write_back=True)
+        env.run(arr.submit("write", 0, 1 * MiB, count=16))
+        assert arr.dirty_bytes > 0
+        env.run(arr.flush())
+        assert arr.dirty_bytes == 0
+
+    def test_sustained_writes_throttled_by_cache(self):
+        env = Environment()
+        cfg = RAIDConfig(level=RAIDLevel.JBOD, ndisks=1, write_back=True, cache_bytes=8 * MiB)
+        arr = RAIDArray(env, cfg)
+        env.run(arr.submit("write", 0, 1 * MiB, count=256))
+        env.run(arr.flush())
+        rate = 256 * MiB / env.now
+        assert rate <= 1.1 * cfg.disk.outer_rate_Bps
+
+    def test_cached_false_bypasses_controller_cache(self):
+        env = Environment()
+        arr = make(env, RAIDLevel.JBOD, 1, write_back=True)
+        env.run(arr.submit("write", 0, 1 * MiB, count=16, cached=False))
+        assert arr.dirty_bytes == 0
+
+
+class TestValidation:
+    def test_bad_op(self):
+        env = Environment()
+        arr = make(env, RAIDLevel.JBOD, 1)
+        with pytest.raises(ValueError):
+            arr.submit("append", 0, 4096)
+
+    def test_bad_geometry(self):
+        env = Environment()
+        arr = make(env, RAIDLevel.JBOD, 1)
+        with pytest.raises(ValueError):
+            arr.submit("read", -1, 4096)
+        with pytest.raises(ValueError):
+            arr.submit("read", 0, 4096, count=0)
+
+    def test_aggregate_stats(self):
+        env = Environment()
+        arr = make(env, RAIDLevel.RAID1, 2)
+        env.run(arr.submit("write", 0, 1 * MiB))
+        assert arr.stats.bytes_written == 2 * MiB  # both mirrors

@@ -1,0 +1,112 @@
+"""Failure injection: degraded-mode RAID service and data loss."""
+
+import pytest
+
+from repro.simengine import Environment
+from repro.hardware.raid import RAIDArray, RAIDConfig, RAIDLevel
+from repro.storage.base import KiB, MiB
+from conftest import SMALL_DISK
+
+
+def make(level, ndisks, write_back=False):
+    env = Environment()
+    return env, RAIDArray(env, RAIDConfig(level=level, ndisks=ndisks, disk=SMALL_DISK,
+                                          write_back=write_back))
+
+
+class TestSurvival:
+    def test_jbod_dies(self):
+        env, arr = make(RAIDLevel.JBOD, 1)
+        arr.fail_disk(0)
+        assert not arr.survives_failures
+        with pytest.raises(RuntimeError, match="lost data"):
+            arr.submit("read", 0, 4 * KiB)
+
+    def test_raid0_dies(self):
+        env, arr = make(RAIDLevel.RAID0, 4)
+        arr.fail_disk(2)
+        assert not arr.survives_failures
+
+    def test_raid1_survives_one(self):
+        env, arr = make(RAIDLevel.RAID1, 2)
+        arr.fail_disk(0)
+        assert arr.survives_failures
+        assert arr.degraded
+        env.run(arr.submit("read", 0, 1 * MiB))
+
+    def test_raid1_dies_when_all_mirrors_fail(self):
+        env, arr = make(RAIDLevel.RAID1, 2)
+        arr.fail_disk(0)
+        arr.fail_disk(1)
+        assert not arr.survives_failures
+
+    def test_raid5_survives_one_not_two(self):
+        env, arr = make(RAIDLevel.RAID5, 5)
+        arr.fail_disk(1)
+        assert arr.survives_failures
+        arr.fail_disk(3)
+        assert not arr.survives_failures
+
+    def test_raid6_survives_two_not_three(self):
+        env, arr = make(RAIDLevel.RAID6, 6)
+        arr.fail_disk(0)
+        arr.fail_disk(1)
+        assert arr.survives_failures
+        arr.fail_disk(2)
+        assert not arr.survives_failures
+
+    def test_raid10_pairwise(self):
+        env, arr = make(RAIDLevel.RAID10, 4)
+        arr.fail_disk(0)
+        assert arr.survives_failures  # mirror 2 covers
+        arr.fail_disk(2)  # same pair as 0 (0 % 2 == 2 % 2)
+        assert not arr.survives_failures
+
+    def test_bad_index(self):
+        env, arr = make(RAIDLevel.RAID5, 5)
+        with pytest.raises(IndexError):
+            arr.fail_disk(9)
+
+
+class TestDegradedPerformance:
+    def test_raid5_degraded_reads_slower(self):
+        env1, healthy = make(RAIDLevel.RAID5, 5)
+        env1.run(healthy.submit("read", 0, 1 * MiB, count=64))
+        env2, degraded = make(RAIDLevel.RAID5, 5)
+        degraded.fail_disk(0)
+        env2.run(degraded.submit("read", 0, 1 * MiB, count=64))
+        assert env2.now > 1.3 * env1.now  # reconstruction overhead
+
+    def test_raid1_degraded_loses_read_parallelism(self):
+        env1, healthy = make(RAIDLevel.RAID1, 2)
+        env1.run(healthy.submit("read", 0, 1 * MiB, count=64))
+        env2, degraded = make(RAIDLevel.RAID1, 2)
+        degraded.fail_disk(1)
+        env2.run(degraded.submit("read", 0, 1 * MiB, count=64))
+        assert env2.now > 1.5 * env1.now
+
+    def test_raid1_degraded_write_single_copy(self):
+        env, arr = make(RAIDLevel.RAID1, 2)
+        arr.fail_disk(0)
+        env.run(arr.submit("write", 0, 1 * MiB))
+        assert arr.disks[1].stats.bytes_written == 1 * MiB
+        assert arr.disks[0].stats.bytes_written == 0
+
+    def test_raid5_degraded_sparse_ops_still_complete(self):
+        env, arr = make(RAIDLevel.RAID5, 5)
+        arr.fail_disk(2)
+        env.run(arr.submit("read", 0, 4 * KiB, count=50, stride=10 * MiB))
+        env.run(arr.submit("write", 0, 4 * KiB, count=50, stride=10 * MiB))
+        assert env.now > 0
+
+    def test_degraded_write_back_flush_works(self):
+        env, arr = make(RAIDLevel.RAID5, 5, write_back=True)
+        arr.fail_disk(4)
+        env.run(arr.submit("write", 0, 1 * MiB, count=8))
+        env.run(arr.flush())
+        assert arr.dirty_bytes == 0
+
+    def test_failed_disks_reported(self):
+        env, arr = make(RAIDLevel.RAID5, 5)
+        arr.fail_disk(3)
+        assert arr.failed_disks == frozenset({3})

@@ -1,0 +1,239 @@
+"""Unit tests for the DES kernel: events, processes, combinators, clock."""
+
+import pytest
+
+from repro.simengine import AllOf, AnyOf, Environment, Event, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Environment(5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.run(env.timeout(2.5))
+    assert env.now == 2.5
+
+
+def test_timeout_value_returned():
+    env = Environment()
+    assert env.run(env.timeout(1.0, value="done")) == "done"
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_process_returns_value():
+    env = Environment()
+
+    def prog():
+        yield env.timeout(1)
+        return 42
+
+    assert env.run(env.process(prog())) == 42
+
+
+def test_process_sequences_timeouts():
+    env = Environment()
+
+    def prog():
+        yield env.timeout(1)
+        yield env.timeout(2)
+        return env.now
+
+    assert env.run(env.process(prog())) == 3.0
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(3)
+        return "child-result"
+
+    def parent():
+        result = yield env.process(child())
+        return (result, env.now)
+
+    assert env.run(env.process(parent())) == ("child-result", 3.0)
+
+
+def test_event_succeed_delivers_value():
+    env = Environment()
+    ev = env.event()
+
+    def waiter():
+        val = yield ev
+        return val
+
+    def trigger():
+        yield env.timeout(1)
+        ev.succeed("payload")
+
+    env.process(trigger())
+    assert env.run(env.process(waiter())) == "payload"
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    ev = env.event()
+
+    class Boom(Exception):
+        pass
+
+    def waiter():
+        try:
+            yield ev
+        except Boom:
+            return "caught"
+        return "missed"
+
+    def trigger():
+        yield env.timeout(1)
+        ev.fail(Boom())
+
+    env.process(trigger())
+    assert env.run(env.process(waiter())) == "caught"
+
+
+def test_process_exception_propagates_to_parent():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        raise RuntimeError("inner")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except RuntimeError as e:
+            return str(e)
+
+    assert env.run(env.process(parent())) == "inner"
+
+
+def test_unhandled_process_exception_surfaces_from_run():
+    env = Environment()
+
+    def prog():
+        yield env.timeout(1)
+        raise ValueError("unhandled")
+
+    ev = env.process(prog())
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run(ev)
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    values = env.run(env.all_of([env.timeout(1, "a"), env.timeout(3, "b"), env.timeout(2, "c")]))
+    assert values == ["a", "b", "c"]
+    assert env.now == 3.0
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    assert env.run(env.all_of([])) == []
+    assert env.now == 0.0
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    value = env.run(env.any_of([env.timeout(5, "slow"), env.timeout(1, "fast")]))
+    assert value == "fast"
+    assert env.now == 1.0
+
+
+def test_any_of_empty_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.any_of([])
+
+
+def test_run_until_time_stops_clock():
+    env = Environment()
+    env.timeout(10)
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_same_time_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def prog(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(prog(tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def prog():
+        yield 42
+
+    with pytest.raises(SimulationError):
+        env.run(env.process(prog()))
+
+
+def test_run_until_event_exhaustion_raises():
+    env = Environment()
+    never = env.event()
+    env.timeout(1)
+    with pytest.raises(SimulationError):
+        env.run(until=never)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7
+    env2 = Environment()
+    assert env2.peek() == float("inf")
+
+
+def test_immediate_resume_on_processed_event():
+    """Yielding an already-processed event resumes without deadlock."""
+    env = Environment()
+    ev = env.timeout(1, value="x")
+    env.run(ev)
+
+    def prog():
+        val = yield ev
+        return val
+
+    assert env.run(env.process(prog())) == "x"
+
+
+def test_nested_all_any_composition():
+    env = Environment()
+    inner = env.all_of([env.timeout(2, 1), env.timeout(1, 2)])
+    value = env.run(env.any_of([inner, env.timeout(10, "late")]))
+    assert value == [1, 2]
+    assert env.now == 2.0

@@ -1,0 +1,171 @@
+"""Unit tests for Resource / PriorityResource / Container / Store."""
+
+import pytest
+
+from repro.simengine import (
+    Container,
+    Environment,
+    PriorityResource,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    env.run(until=0)
+    assert r1.triggered and r2.triggered and not r3.triggered
+    assert res.count == 2
+    assert len(res.queue) == 1
+
+
+def test_resource_release_wakes_waiter():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    assert r1.triggered and not r2.triggered
+    res.release(r1)
+    env.run()
+    assert r2.triggered
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(tag, hold):
+        yield from res.using(hold)
+        order.append(tag)
+
+    for i, tag in enumerate("abc"):
+        env.process(worker(tag, 1.0))
+    env.run()
+    assert order == ["a", "b", "c"]
+    assert env.now == 3.0
+
+
+def test_resource_release_unheld_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    res.release(req)
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_resource_capacity_validation():
+    with pytest.raises(ValueError):
+        Resource(Environment(), capacity=0)
+
+
+def test_priority_resource_serves_lowest_priority_first():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def worker(tag, prio):
+        req = res.request(priority=prio)
+        yield req
+        yield env.timeout(1)
+        res.release(req)
+        order.append(tag)
+
+    def spawn():
+        # occupy the resource so later requests queue
+        req = res.request()
+        yield req
+        env.process(worker("low", 5))
+        env.process(worker("high", 0))
+        env.process(worker("mid", 3))
+        yield env.timeout(1)
+        res.release(req)
+
+    env.process(spawn())
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_container_put_get():
+    env = Environment()
+    c = Container(env, capacity=100, init=10)
+    env.run(c.put(40))
+    assert c.level == 50
+    env.run(c.get(30))
+    assert c.level == 20
+
+
+def test_container_get_blocks_until_available():
+    env = Environment()
+    c = Container(env, capacity=100, init=0)
+    got = c.get(25)
+    assert not got.triggered
+
+    def producer():
+        yield env.timeout(1)
+        yield c.put(25)
+
+    env.process(producer())
+    env.run()
+    assert got.triggered
+    assert c.level == 0
+
+
+def test_container_put_blocks_when_full():
+    env = Environment()
+    c = Container(env, capacity=10, init=10)
+    put = c.put(5)
+    assert not put.triggered
+    env.run(c.get(8))
+    assert put.triggered
+    assert c.level == 7
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+    c = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        c.put(-1)
+
+
+def test_store_fifo():
+    env = Environment()
+    s = Store(env)
+    env.run(s.put("x"))
+    env.run(s.put("y"))
+    assert env.run(s.get()) == "x"
+    assert env.run(s.get()) == "y"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    s = Store(env)
+    got = s.get()
+    assert not got.triggered
+
+    def producer():
+        yield env.timeout(2)
+        yield s.put("late")
+
+    env.process(producer())
+    env.run()
+    assert got.value == "late"
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    s = Store(env, capacity=1)
+    env.run(s.put(1))
+    p2 = s.put(2)
+    assert not p2.triggered
+    assert env.run(s.get()) == 1
+    assert p2.triggered
+    assert len(s) == 1

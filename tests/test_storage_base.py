@@ -1,0 +1,57 @@
+"""Tests for the storage vocabulary: IORequest and access-mode taxonomy."""
+
+import pytest
+
+from repro.storage.base import AccessMode, IORequest, classify_mode
+
+
+class TestIORequest:
+    def test_total_bytes(self):
+        assert IORequest("read", 0, 100, count=5).total_bytes == 500
+
+    def test_default_stride_is_contiguous(self):
+        r = IORequest("write", 0, 64)
+        assert r.effective_stride == 64
+        assert r.is_dense
+
+    def test_span_dense(self):
+        assert IORequest("read", 0, 100, count=4).span == 400
+
+    def test_span_strided(self):
+        r = IORequest("read", 0, 100, count=4, stride=300)
+        assert r.span == 3 * 300 + 100
+
+    def test_span_random(self):
+        assert IORequest("read", 0, 100, count=4, stride=-1).span == 400
+
+    def test_strided_not_dense(self):
+        assert not IORequest("read", 0, 100, count=2, stride=300).is_dense
+
+    def test_single_op_always_dense(self):
+        assert IORequest("read", 0, 100, count=1, stride=999).is_dense
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IORequest("append", 0, 10)
+        with pytest.raises(ValueError):
+            IORequest("read", -1, 10)
+        with pytest.raises(ValueError):
+            IORequest("read", 0, 10, count=0)
+
+
+class TestClassifyMode:
+    def test_sequential(self):
+        assert classify_mode(100, 10, None) is AccessMode.SEQUENTIAL
+        assert classify_mode(100, 10, 100) is AccessMode.SEQUENTIAL
+
+    def test_strided(self):
+        assert classify_mode(100, 10, 250) is AccessMode.STRIDED
+
+    def test_random(self):
+        assert classify_mode(100, 10, -1) is AccessMode.RANDOM
+
+    def test_single_op_sequential(self):
+        assert classify_mode(100, 1, 9999) is AccessMode.SEQUENTIAL
+
+    def test_request_mode_property(self):
+        assert IORequest("read", 0, 8, count=4, stride=32).mode is AccessMode.STRIDED
