@@ -12,9 +12,22 @@ Scale notes (documented deviations, also in EXPERIMENTS.md):
 * Cluster A characterization uses 4 IOzone block sizes instead of 10
   (its 24 GB stress file makes each pass expensive); the application
   runs use the paper's full 16/64-process setups.
+
+Opt-in acceleration (see README "Performance & caching"):
+
+* ``REPRO_BENCH_CACHE=<dir>`` reuses characterization tables across
+  benchmark sessions via the fingerprint-keyed on-disk cache — the
+  first run pays full price, later runs load the tables in
+  milliseconds.  Keys cover every config field and sweep parameter,
+  so a changed setup recomputes automatically; delete the directory
+  (or use ``TableCache.invalidate``) after simulator changes.
+* ``REPRO_JOBS=<n>`` fans the per-(config, level) characterization
+  units out over worker processes.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -30,6 +43,9 @@ from repro.workloads.madbench import MadBenchConfig
 PAPER_BLOCKS = tuple((32 * KiB) << k for k in range(10))
 #: reduced sweep for the expensive cluster-A stress file
 CLUSTER_A_BLOCKS = (32 * KiB, 256 * KiB, 1 * MiB, 16 * MiB)
+
+#: opt-in on-disk characterization cache for benchmark sessions
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "").strip() or None
 
 
 def show(title: str, body: str) -> None:
@@ -47,7 +63,7 @@ def aohyper_methodology() -> Methodology:
         ior_nprocs=8,
         ior_file_bytes=4 * GiB,
     )
-    m.characterize()
+    m.characterize(cache=BENCH_CACHE)
     return m
 
 
@@ -59,7 +75,7 @@ def cluster_a_methodology() -> Methodology:
         ior_nprocs=8,
         ior_file_bytes=4 * GiB,
     )
-    m.characterize()
+    m.characterize(cache=BENCH_CACHE)
     return m
 
 

@@ -8,7 +8,13 @@ Subcommands mirror the methodology's phases:
   print the run metrics and used-percentage tables.
 * ``predict`` — phase-1-only configuration selection: predict the
   workload's I/O time on every configuration from the tables alone.
+* ``perf`` — benchmark the methodology itself: serial vs parallel vs
+  cached characterization timings, written as machine-readable JSON.
 * ``list`` — show the available cluster configurations and workloads.
+
+``characterize``/``evaluate``/``predict`` accept ``--jobs`` (worker
+processes; also the ``REPRO_JOBS`` environment variable) and
+``--cache`` (on-disk characterization cache directory).
 """
 
 from __future__ import annotations
@@ -67,6 +73,15 @@ def _methodology(args) -> Methodology:
     )
 
 
+def _characterize(m: Methodology, args) -> None:
+    """Phase 1 with the shared --jobs/--cache/--refresh knobs."""
+    m.characterize(
+        n_jobs=args.jobs,
+        cache=args.cache,
+        refresh=getattr(args, "refresh", False),
+    )
+
+
 def cmd_list(_args) -> int:
     print("cluster configurations:")
     for name in AOHYPER_CONFIGS:
@@ -80,7 +95,7 @@ def cmd_list(_args) -> int:
 
 def cmd_characterize(args) -> int:
     m = _methodology(args)
-    m.characterize()
+    _characterize(m, args)
     for tables in m.tables.values():
         for table in tables.values():
             print(format_perf_table(table))
@@ -94,10 +109,10 @@ def cmd_characterize(args) -> int:
 def cmd_evaluate(args) -> int:
     m = _methodology(args)
     print("characterizing ...", file=sys.stderr)
-    m.characterize()
+    _characterize(m, args)
     app = _app(args)
     print(f"evaluating {app.name} ...", file=sys.stderr)
-    reports = m.evaluate(app)
+    reports = m.evaluate(app, n_jobs=args.jobs)
     print(format_run_metrics(reports))
     for op in ("write", "read"):
         print(format_used_matrix(reports, op))
@@ -107,7 +122,7 @@ def cmd_evaluate(args) -> int:
 def cmd_predict(args) -> int:
     m = _methodology(args)
     print("characterizing ...", file=sys.stderr)
-    m.characterize()
+    _characterize(m, args)
     app = _app(args)
     # one (cheap) reference run on the first configuration builds the
     # system-independent application profile
@@ -119,6 +134,107 @@ def cmd_predict(args) -> int:
     for pred in rank_predicted(profile, m.tables):
         levels = ", ".join(f"{k}:{v}" for k, v in pred.limiting_levels().items())
         print(f"{pred.config_name:<14}{pred.io_time_s:>18.1f}s  {levels:>28}")
+    return 0
+
+
+def cmd_perf(args) -> int:
+    """Benchmark the methodology pipeline itself (serial/parallel/cached)."""
+    import json
+    import os
+    import platform
+    import tempfile
+    import time
+
+    from .core.tablecache import TableCache
+    from .workloads.apps import MadBenchApplication
+    from .workloads.madbench import MadBenchConfig
+
+    if args.quick:
+        sweep = dict(
+            block_sizes=(256 * KiB, 1 * MiB),
+            char_file_bytes=8 * MiB,
+            ior_file_bytes=64 * MiB,
+        )
+    else:
+        sweep = dict(
+            block_sizes=tuple((32 * KiB) << k for k in range(0, 10, 3)),
+            ior_file_bytes=args.ior_gib * GiB,
+        )
+    configs = _configs(args.configs)
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+
+    def csvs(m: Methodology) -> dict:
+        return {
+            name: {level: t.to_csv() for level, t in tables.items()}
+            for name, tables in m.tables.items()
+        }
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        out = fn()
+        return time.perf_counter() - t0, out
+
+    print(f"perf: {len(configs)} config(s), jobs={jobs}, "
+          f"{'quick' if args.quick else 'full'} sweep", file=sys.stderr)
+
+    m_serial = Methodology(dict(configs), **sweep)
+    serial_s, _ = timed(lambda: m_serial.characterize(n_jobs=1))
+    print(f"  characterize serial    {serial_s:8.2f}s", file=sys.stderr)
+
+    m_par = Methodology(dict(configs), **sweep)
+    parallel_s, _ = timed(lambda: m_par.characterize(n_jobs=jobs))
+    print(f"  characterize parallel  {parallel_s:8.2f}s (jobs={jobs})", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-cache-") as cache_dir:
+        cache = TableCache(args.cache or cache_dir)
+        m_warmup = Methodology(dict(configs), **sweep)
+        m_warmup.characterize(cache=cache, refresh=args.refresh)
+        m_cached = Methodology(dict(configs), **sweep)
+        cached_s, _ = timed(lambda: m_cached.characterize(cache=cache))
+        print(f"  characterize cached    {cached_s:8.2f}s (warm load)", file=sys.stderr)
+        identical = csvs(m_serial) == csvs(m_par) == csvs(m_cached)
+
+    app = MadBenchApplication(MadBenchConfig(kpix=2, nprocs=4))
+    eval_serial_s, _ = timed(lambda: m_serial.evaluate(app, n_jobs=1))
+    eval_parallel_s, _ = timed(lambda: m_serial.evaluate(app, n_jobs=jobs))
+    print(f"  evaluate serial        {eval_serial_s:8.2f}s", file=sys.stderr)
+    print(f"  evaluate parallel      {eval_parallel_s:8.2f}s", file=sys.stderr)
+
+    result = {
+        "benchmark": "characterize",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "params": {
+            "configs": sorted(configs),
+            "quick": bool(args.quick),
+            "n_jobs": jobs,
+            "levels": list(m_serial.levels),
+            "block_sizes": list(m_serial.block_sizes),
+            "ior_file_bytes": m_serial.ior_file_bytes,
+        },
+        "timings_s": {
+            "characterize_serial": round(serial_s, 4),
+            "characterize_parallel": round(parallel_s, 4),
+            "characterize_cached": round(cached_s, 4),
+            "evaluate_serial": round(eval_serial_s, 4),
+            "evaluate_parallel": round(eval_parallel_s, 4),
+        },
+        "speedup": {
+            "parallel": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+            "cached": round(serial_s / cached_s, 3) if cached_s > 0 else None,
+        },
+        "tables_identical": identical,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"  -> wrote {out}", file=sys.stderr)
+    print(json.dumps(result, indent=2))
+    if not identical:
+        print("ERROR: serial/parallel/cached tables differ", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -137,6 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--block-step", type=int, default=3,
                         help="stride through the 32K..16M block sweep (1 = all ten sizes)")
         sp.add_argument("--ior-gib", type=int, default=2, help="IOR file size in GiB")
+        sp.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for characterization/evaluation "
+                             "(0 = one per CPU; default: REPRO_JOBS, else serial)")
+        sp.add_argument("--cache", default=None, metavar="DIR",
+                        help="characterization cache directory (reuse tables "
+                             "keyed by config fingerprint + sweep params)")
+        sp.add_argument("--refresh", action="store_true",
+                        help="recompute and overwrite cached tables")
 
     c = sub.add_parser("characterize", help="phase 1: build performance tables")
     common(c)
@@ -160,6 +284,14 @@ def build_parser() -> argparse.ArgumentParser:
     common(pr)
     workload(pr)
     pr.set_defaults(func=cmd_predict)
+
+    pf = sub.add_parser("perf", help="benchmark the methodology pipeline itself")
+    common(pf)
+    pf.add_argument("--quick", action="store_true",
+                    help="small sweep suitable for CI (seconds, not minutes)")
+    pf.add_argument("--out", default="BENCH_characterize.json",
+                    help="JSON results file (default: BENCH_characterize.json)")
+    pf.set_defaults(func=cmd_perf)
     return p
 
 

@@ -55,6 +55,18 @@ class SystemConfig:
     client_cache_enabled: bool = True
     server_cache_enabled: bool = True
 
+    def fingerprint(self) -> str:
+        """Stable content hash of every configurable factor.
+
+        Used to key the on-disk characterization cache
+        (:mod:`repro.core.tablecache`): two configs with identical
+        factors share cached tables, and any field change produces a
+        new key.
+        """
+        from ..fingerprint import fingerprint
+
+        return fingerprint(self)
+
 
 class System:
     """A built, runnable I/O configuration."""

@@ -23,6 +23,8 @@ from .factors import (
 )
 from .latency import characterize_latency, LatencyProfile, measure_latency_iops
 from .methodology import Application, AppRun, Methodology
+from .parallel import resolve_jobs, run_tasks
+from .tablecache import default_cache_root, TableCache
 from .prediction import (
     IOPrediction,
     MeasurePrediction,
@@ -59,6 +61,10 @@ __all__ = [
     "Application",
     "AppRun",
     "Methodology",
+    "resolve_jobs",
+    "run_tasks",
+    "default_cache_root",
+    "TableCache",
     "characterize_latency",
     "LatencyProfile",
     "measure_latency_iops",

@@ -32,15 +32,50 @@ from ..tracing import IOTracer
 from .characterize import (
     AppProfile,
     characterize_app,
-    characterize_system,
     DEFAULT_BLOCKS,
     LEVELS,
 )
 from .evaluation import EvaluationReport, generate_used_percentage
 from .factors import ConfigurableFactors, extract_factors, rank_configurations
+from .parallel import run_tasks
 from .perftable import PerformanceTable
+from .tablecache import TableCache
 
 __all__ = ["Application", "AppRun", "Methodology"]
+
+
+def _characterize_unit(task) -> PerformanceTable:
+    """Worker: one (config, level) characterization.
+
+    Module-level (not a closure) so it pickles into worker processes.
+    Each unit builds its own fresh :class:`Environment`, so units are
+    independent and their parallel results are bit-identical to a
+    serial run.
+    """
+    config, level, block_sizes, file_bytes, ior_nprocs, ior_file_bytes = task
+    from .characterize import characterize_level
+
+    return characterize_level(
+        config, level, block_sizes, file_bytes, ior_nprocs, ior_file_bytes
+    )
+
+
+def _evaluate_unit(task) -> EvaluationReport:
+    """Worker: run the application on one configuration."""
+    name, config, app, access, tables = task
+    system = build_system(Environment(), config)
+    run = app.run(system)
+    profile = characterize_app(run.tracer, access=access)
+    used = generate_used_percentage(name, profile, tables)
+    return EvaluationReport(
+        config_name=name,
+        execution_time_s=run.execution_time_s,
+        io_time_s=run.io_time_s,
+        bytes_written=run.bytes_written,
+        bytes_read=run.bytes_read,
+        used=used,
+        profile=profile,
+    )
 
 
 @dataclass
@@ -88,17 +123,80 @@ class Methodology:
     # ------------------------------------------------------------------
     # phase 1: characterization (system side)
     # ------------------------------------------------------------------
-    def characterize(self, names: Optional[Sequence[str]] = None) -> dict[str, dict[str, PerformanceTable]]:
-        """Build performance tables for each configuration and level."""
-        for name in names or self.configs:
-            self.tables[name] = characterize_system(
-                self.configs[name],
-                levels=self.levels,
-                block_sizes=self.block_sizes,
-                file_bytes=self.char_file_bytes,
-                ior_nprocs=self.ior_nprocs,
-                ior_file_bytes=self.ior_file_bytes,
-            )
+    def _sweep_params(self) -> dict:
+        """The sweep parameters that, with a config, determine a table."""
+        return {
+            "levels": self.levels,
+            "block_sizes": self.block_sizes,
+            "char_file_bytes": self.char_file_bytes,
+            "ior_nprocs": self.ior_nprocs,
+            "ior_file_bytes": self.ior_file_bytes,
+        }
+
+    def cache_key(self, name: str, cache: TableCache) -> str:
+        """The cache key of one configuration under this sweep."""
+        return cache.key(self.configs[name], **self._sweep_params())
+
+    def characterize(
+        self,
+        names: Optional[Sequence[str]] = None,
+        n_jobs: Optional[int] = None,
+        cache: "TableCache | str | None" = None,
+        refresh: bool = False,
+    ) -> dict[str, dict[str, PerformanceTable]]:
+        """Build performance tables for each configuration and level.
+
+        ``n_jobs`` fans the independent (config, level) units out over
+        worker processes (default: the ``REPRO_JOBS`` environment
+        variable, else serial; ``0`` = one per CPU).  Results are
+        merged in a fixed (name, level) order, so the output is
+        identical for any job count.
+
+        ``cache`` (a :class:`TableCache` or a directory path) loads
+        previously characterized tables keyed by the configuration's
+        fingerprint plus the sweep parameters, and stores fresh
+        results for next time.  ``refresh=True`` recomputes and
+        overwrites cached entries.
+        """
+        names = list(names or self.configs)
+        if cache is not None and not isinstance(cache, TableCache):
+            cache = TableCache(cache)
+
+        pending = list(names)
+        if cache is not None and not refresh:
+            pending = []
+            for name in names:
+                hit = cache.load(self.cache_key(name, cache), name, self.levels)
+                if hit is not None:
+                    self.tables[name] = hit
+                else:
+                    pending.append(name)
+
+        if pending:
+            tasks = [
+                (
+                    self.configs[name],
+                    level,
+                    self.block_sizes,
+                    self.char_file_bytes,
+                    self.ior_nprocs,
+                    self.ior_file_bytes,
+                )
+                for name in pending
+                for level in self.levels
+            ]
+            results = run_tasks(_characterize_unit, tasks, n_jobs)
+            it = iter(results)
+            for name in pending:
+                self.tables[name] = {level: next(it) for level in self.levels}
+            if cache is not None:
+                for name in pending:
+                    cache.store(
+                        self.cache_key(name, cache),
+                        name,
+                        self.tables[name],
+                        meta={"sweep": {k: str(v) for k, v in self._sweep_params().items()}},
+                    )
         return self.tables
 
     # ------------------------------------------------------------------
@@ -115,27 +213,25 @@ class Methodology:
         app: Application,
         names: Optional[Sequence[str]] = None,
         access: AccessType = AccessType.GLOBAL,
+        n_jobs: Optional[int] = None,
     ) -> dict[str, EvaluationReport]:
         """Run the application on each configuration and compare against
-        the characterized tables (phase 1 must have run)."""
-        reports: dict[str, EvaluationReport] = {}
-        for name in names or self.configs:
+        the characterized tables (phase 1 must have run).
+
+        Each configuration runs on its own fresh system, so ``n_jobs``
+        fans the runs out over worker processes exactly like
+        :meth:`characterize`; reports come back keyed in input order.
+        """
+        names = list(names or self.configs)
+        for name in names:
             if name not in self.tables:
                 raise RuntimeError(f"configuration {name!r} not characterized yet")
-            system = build_system(Environment(), self.configs[name])
-            run = app.run(system)
-            profile = characterize_app(run.tracer, access=access)
-            used = generate_used_percentage(name, profile, self.tables[name])
-            reports[name] = EvaluationReport(
-                config_name=name,
-                execution_time_s=run.execution_time_s,
-                io_time_s=run.io_time_s,
-                bytes_written=run.bytes_written,
-                bytes_read=run.bytes_read,
-                used=used,
-                profile=profile,
-            )
-        return reports
+        tasks = [
+            (name, self.configs[name], app, access, self.tables[name])
+            for name in names
+        ]
+        results = run_tasks(_evaluate_unit, tasks, n_jobs)
+        return {name: report for name, report in zip(names, results)}
 
     def recommend(
         self,

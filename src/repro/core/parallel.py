@@ -1,0 +1,80 @@
+"""Process-parallel fan-out for embarrassingly parallel methodology work.
+
+Characterization builds a fresh :class:`~repro.simengine.Environment`
+per (configuration, level) unit and evaluation builds one per
+configuration, so the units share no state and each one is a pure
+function of picklable inputs.  :func:`run_tasks` maps a worker over
+such units with a :class:`~concurrent.futures.ProcessPoolExecutor`,
+preserving input order so parallel results merge exactly like serial
+ones.
+
+Job count resolution (first match wins):
+
+1. an explicit ``n_jobs`` argument,
+2. the ``REPRO_JOBS`` environment variable,
+3. serial (``1``).
+
+Serial is the deliberate default — on a single-core host (or under
+pytest) worker processes only add fork/pickle overhead, and serial
+execution needs no picklability at all.  Anything > 1 fans out;
+``n_jobs=0`` means "one worker per CPU".
+
+If the pool itself cannot start (restricted environments: no ``fork``,
+no semaphores, no ``/dev/shm``) the map silently degrades to serial —
+the result is identical, only slower.  Exceptions raised *inside* a
+worker propagate unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Sequence, TypeVar
+
+__all__ = ["resolve_jobs", "run_tasks"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(n_jobs: Optional[int] = None) -> int:
+    """Effective worker count for a fan-out (see module docstring)."""
+    if n_jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                n_jobs = int(env)
+            except ValueError:
+                raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+        else:
+            return 1
+    if n_jobs == 0:
+        return os.cpu_count() or 1
+    if n_jobs < 0:
+        raise ValueError(f"n_jobs must be >= 0, got {n_jobs}")
+    return n_jobs
+
+
+def run_tasks(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    n_jobs: Optional[int] = None,
+) -> list[R]:
+    """``[fn(it) for it in items]``, possibly across worker processes.
+
+    Results are returned in input order regardless of completion
+    order, so callers can merge them deterministically.  ``fn`` and
+    every item must be picklable when more than one job is requested.
+    """
+    items = list(items)
+    jobs = min(resolve_jobs(n_jobs), len(items))
+    if jobs <= 1:
+        return [fn(it) for it in items]
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        executor = ProcessPoolExecutor(max_workers=jobs)
+    except (OSError, ImportError, NotImplementedError):
+        # Pool start-up failure (sandboxed host): same answer, serially.
+        return [fn(it) for it in items]
+    with executor:
+        return list(executor.map(fn, items))

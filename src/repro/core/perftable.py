@@ -153,8 +153,11 @@ class PerformanceTable:
         buf = io.StringIO()
         w = csv.writer(buf)
         w.writerow(self._FIELDS)
+        # repr() of a float is the shortest string that parses back to
+        # the same value, so save -> load round trips are bit-exact and
+        # cached tables evaluate identically to freshly built ones.
         for r in sorted(self.rows, key=lambda r: (r.op, r.access.value, r.mode.value, r.block_bytes)):
-            w.writerow([r.op, r.block_bytes, r.access.value, r.mode.value, f"{r.rate_Bps:.3f}"])
+            w.writerow([r.op, r.block_bytes, r.access.value, r.mode.value, repr(r.rate_Bps)])
         return buf.getvalue()
 
     @classmethod

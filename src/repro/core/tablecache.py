@@ -1,0 +1,130 @@
+"""Persistent characterization cache keyed by configuration fingerprints.
+
+Phase 1 (characterization) is the expensive step of the methodology —
+tens of seconds of simulated benchmarks per configuration — yet its
+result is a pure function of the :class:`~repro.clusters.builder.
+SystemConfig` and the sweep parameters.  :class:`TableCache` stores
+each result on disk under a :func:`~repro.fingerprint.fingerprint` of
+those inputs, in the same CSV format as
+:meth:`~repro.core.methodology.Methodology.save_tables`, so warm
+loads are near-instant and entries stay human-inspectable.
+
+Layout::
+
+    <root>/
+      <fingerprint>/
+        meta.json                  # config name, sweep params, levels
+        <config>_<level>.csv       # one PerformanceTable per level
+
+The root directory resolves from (first match wins) an explicit
+``root`` argument, the ``REPRO_CACHE_DIR`` environment variable, or
+``~/.cache/repro/tables``.  Fingerprints cover every field of the
+config and sweep, so editing a configuration *invalidates by
+construction* — stale entries are never returned, only orphaned.
+:meth:`invalidate` removes entries explicitly (e.g. after a simulator
+change that alters the modelled rates).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..fingerprint import fingerprint
+from .perftable import PerformanceTable
+
+__all__ = ["TableCache", "default_cache_root"]
+
+
+def default_cache_root() -> Path:
+    """The cache directory used when none is given explicitly."""
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "tables"
+
+
+class TableCache:
+    """On-disk store of per-level performance tables."""
+
+    def __init__(self, root: "Path | str | None" = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    # ------------------------------------------------------------------
+    def key(self, config, **sweep) -> str:
+        """Cache key for a configuration plus sweep parameters."""
+        return fingerprint(config, sweep)
+
+    def entry_dir(self, key: str) -> Path:
+        return self.root / key
+
+    # ------------------------------------------------------------------
+    def load(
+        self, key: str, config_name: str, levels: Sequence[str]
+    ) -> Optional[dict[str, PerformanceTable]]:
+        """The cached tables for ``key``, or ``None`` on any miss.
+
+        A hit requires *every* requested level to be present — a
+        partial entry (e.g. written by a run with fewer levels) is
+        treated as a miss so callers never mix cached and missing
+        levels silently.
+        """
+        entry = self.entry_dir(key)
+        tables: dict[str, PerformanceTable] = {}
+        for level in levels:
+            path = entry / f"{config_name}_{level}.csv"
+            if not path.exists():
+                return None
+            tables[level] = PerformanceTable.from_csv(level, path.read_text())
+        return tables
+
+    def store(
+        self,
+        key: str,
+        config_name: str,
+        tables: dict[str, PerformanceTable],
+        meta: Optional[dict] = None,
+    ) -> Path:
+        """Write ``tables`` under ``key``; returns the entry directory."""
+        entry = self.entry_dir(key)
+        entry.mkdir(parents=True, exist_ok=True)
+        for level, table in tables.items():
+            (entry / f"{config_name}_{level}.csv").write_text(table.to_csv())
+        record = {"config": config_name, "levels": sorted(tables)}
+        if meta:
+            record.update(meta)
+        (entry / "meta.json").write_text(json.dumps(record, indent=2, sort_keys=True))
+        return entry
+
+    # ------------------------------------------------------------------
+    def invalidate(self, key: Optional[str] = None) -> int:
+        """Drop one entry (or, with no key, the whole cache).
+
+        Returns the number of entries removed.
+        """
+        if key is not None:
+            entry = self.entry_dir(key)
+            if entry.is_dir():
+                shutil.rmtree(entry)
+                return 1
+            return 0
+        if not self.root.is_dir():
+            return 0
+        n = 0
+        for child in self.root.iterdir():
+            if child.is_dir():
+                shutil.rmtree(child)
+                n += 1
+        return n
+
+    def entries(self) -> list[str]:
+        """Keys currently present in the cache."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<TableCache root={str(self.root)!r} entries={len(self.entries())}>"

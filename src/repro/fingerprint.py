@@ -1,0 +1,62 @@
+"""Stable content hashes for configuration objects.
+
+The characterization phase is a pure function of a
+:class:`~repro.clusters.builder.SystemConfig` plus the sweep
+parameters, so its result can be keyed by a digest of those inputs and
+cached on disk (see :mod:`repro.core.tablecache`).  This module is a
+leaf — stdlib only — so both :mod:`repro.clusters` and
+:mod:`repro.core` can use it without layering cycles.
+
+The digest is built from a canonical JSON form, not ``pickle`` or
+``repr`` of the object graph, so it is stable across interpreter runs
+(no hash randomisation) and across field *values* only: renaming or
+adding a dataclass field changes the fingerprint, which is exactly the
+invalidation behaviour a cache wants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonicalize", "fingerprint"]
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serialisable canonical form.
+
+    Dataclasses become ``{"<ClassName>": {field: value, ...}}`` (class
+    name included so two configs with identical field values but
+    different types do not collide), enums become ``[ClassName,
+    value]``, mappings are key-sorted, and sequences keep their order.
+    Anything else falls back to ``repr``.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {type(obj).__name__: fields}
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, canonicalize(obj.value)]
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(x) for x in obj]
+    if isinstance(obj, dict):
+        return {
+            str(k): canonicalize(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    return repr(obj)
+
+
+def fingerprint(*objs: Any) -> str:
+    """A short stable hex digest of the canonical form of ``objs``."""
+    payload = json.dumps(
+        [canonicalize(o) for o in objs], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

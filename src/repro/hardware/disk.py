@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..simengine import Environment, Event, Resource
+from ..simengine import Environment, Event, Resource, hold_quantum
 
 __all__ = ["DiskSpec", "Disk", "READ", "WRITE"]
 
@@ -198,6 +198,7 @@ class Disk:
         total_bytes = nbytes * count
         req = self.head.request(priority)
         yield req
+        reqs = [req]
         try:
             total = self.service_time(op, offset, nbytes, count, stride_)
             self.stats.busy_s += total
@@ -210,17 +211,11 @@ class Disk:
             # Hold the head in quanta so that equal-priority competitors
             # queued behind a huge bulk transfer are not starved forever
             # (they interleave at quantum granularity).
-            remaining = total
-            while remaining > 0:
-                q = min(remaining, self.QUANTUM_S)
-                yield self.env.timeout(q)
-                remaining -= q
-                if remaining > 0 and self.head.queue:
-                    self.head.release(req)
-                    req = self.head.request(priority)
-                    yield req
+            yield from hold_quantum(
+                self.env, [self.head], reqs, total, self.QUANTUM_S, priority
+            )
         finally:
-            self.head.release(req)
+            self.head.release(reqs[0])
         return total_bytes
 
     @property

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..simengine import Environment, Event, Resource
+from ..simengine import Environment, Event, Resource, hold_quantum
 
 __all__ = ["LinkSpec", "Link", "Network", "GIGABIT", "TEN_GIGABIT"]
 
@@ -76,22 +76,17 @@ class Link:
     def _send(self, nbytes, count, priority):
         req = self.channel.request(priority)
         yield req
+        reqs = [req]
         try:
             total = self.hold_time(nbytes, count)
             self.busy_s += total
             self.bytes_carried += nbytes * count
             self.messages += count
-            remaining = total
-            while remaining > 0:
-                q = min(remaining, self.QUANTUM_S)
-                yield self.env.timeout(q)
-                remaining -= q
-                if remaining > 0 and self.channel.queue:
-                    self.channel.release(req)
-                    req = self.channel.request(priority)
-                    yield req
+            yield from hold_quantum(
+                self.env, [self.channel], reqs, total, self.QUANTUM_S, priority
+            )
         finally:
-            self.channel.release(req)
+            self.channel.release(reqs[0])
         # propagation latency of the tail message (pipelined with the rest)
         yield self.env.timeout(self.spec.latency_s)
         return nbytes * count
@@ -161,6 +156,7 @@ class Network:
         yield up_req
         down_req = down.channel.request(priority)
         yield down_req
+        reqs = [up_req, down_req]
         try:
             total = up.hold_time(nbytes, count)
             up.busy_s += total
@@ -169,22 +165,18 @@ class Network:
             down.bytes_carried += nbytes * count
             up.messages += count
             down.messages += count
-            remaining = total
-            while remaining > 0:
-                q = min(remaining, Link.QUANTUM_S)
-                yield self.env.timeout(q)
-                remaining -= q
-                if remaining > 0 and (up.channel.queue or down.channel.queue):
-                    # Let competitors interleave at quantum granularity.
-                    down.channel.release(down_req)
-                    up.channel.release(up_req)
-                    up_req = up.channel.request(priority)
-                    yield up_req
-                    down_req = down.channel.request(priority)
-                    yield down_req
+            # Competitors interleave at quantum granularity.
+            yield from hold_quantum(
+                self.env,
+                [up.channel, down.channel],
+                reqs,
+                total,
+                Link.QUANTUM_S,
+                priority,
+            )
         finally:
-            down.channel.release(down_req)
-            up.channel.release(up_req)
+            down.channel.release(reqs[1])
+            up.channel.release(reqs[0])
         yield self.env.timeout(self.spec.latency_s)
         return nbytes * count
 

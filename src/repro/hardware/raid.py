@@ -357,7 +357,10 @@ class RAIDArray:
         first = offset // stripe
         nchunks, rem = divmod(total, stripe)
         for i in range(ways):
-            full = (nchunks + ways - 1 - ((first + i) % ways)) // ways if nchunks else 0
+            # chunk j of the extent lands on member (first + j) % ways,
+            # so the member reached at relative position i serves chunks
+            # i, i + ways, i + 2*ways, ...
+            full = (nchunks + ways - 1 - i) // ways if nchunks else 0
             shares[(first + i) % ways] += full * stripe
         if rem:
             shares[(first + nchunks) % ways] += rem

@@ -1,7 +1,7 @@
 """Discrete-event simulation kernel used by every substrate in repro."""
 
-from .core import AllOf, AnyOf, Environment, Event, Process, SimulationError, Timeout
-from .resources import Container, PriorityResource, Request, Resource, Store
+from .core import AllOf, AnyOf, Environment, Event, Process, SimulationError, Timeout, Wake
+from .resources import Container, PriorityResource, Request, Resource, Store, hold_quantum
 from .rng import RngRegistry
 
 __all__ = [
@@ -12,10 +12,12 @@ __all__ = [
     "Process",
     "SimulationError",
     "Timeout",
+    "Wake",
     "Container",
     "PriorityResource",
     "Request",
     "Resource",
     "Store",
     "RngRegistry",
+    "hold_quantum",
 ]

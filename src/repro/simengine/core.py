@@ -28,6 +28,7 @@ __all__ = [
     "Environment",
     "Event",
     "Timeout",
+    "Wake",
     "Process",
     "AllOf",
     "AnyOf",
@@ -120,11 +121,40 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
+        # Timeouts are created triggered-and-scheduled; bypassing
+        # Event.__init__ and the _schedule_at re-schedule guard saves
+        # two attribute round trips on the kernel's most common event.
+        self.env = env
+        self.callbacks = []
         self.delay = delay
         self._ok = True
         self._value = value
-        env._schedule_at(self, env.now + delay, priority=1)
+        self._scheduled = True
+        env._seq += 1
+        heapq.heappush(env._queue, (env._now + delay, 1, env._seq, self))
+
+
+class Wake(Event):
+    """An event firing at an *absolute* simulated time.
+
+    Unlike ``Timeout(delay)`` the calendar entry is exactly ``at``,
+    with no ``now + delay`` float round trip — coalesced resource
+    holds use this to land on the same timestamps the quantum-sliced
+    path produces (sums of per-quantum additions).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", at: float, value: Any = None):
+        if at < env._now:
+            raise ValueError(f"wake_at({at!r}) is in the past (now={env._now!r})")
+        self.env = env
+        self.callbacks = []
+        self._ok = True
+        self._value = value
+        self._scheduled = True
+        env._seq += 1
+        heapq.heappush(env._queue, (at, 1, env._seq, self))
 
 
 class Initialize(Event):
@@ -133,11 +163,14 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
+        # Like Timeout, created triggered-and-scheduled in one step.
+        self.env = env
+        self.callbacks = [process._resume]
         self._ok = True
         self._value = None
-        env._schedule_at(self, env.now, priority=0)
+        self._scheduled = True
+        env._seq += 1
+        heapq.heappush(env._queue, (env._now, 0, env._seq, self))
 
 
 class Process(Event):
@@ -166,35 +199,39 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value (or exception) of ``event``."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        send = self.generator.send
         while True:
             try:
                 if event._ok:
-                    target = self.generator.send(event._value)
+                    target = send(event._value)
                 else:
                     target = self.generator.throw(event._value)
             except StopIteration as exc:
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(exc.value)
                 return
             except BaseException as exc:
-                self.env._active_process = None
+                env._active_process = None
                 if not self._failure_handled(exc):
                     raise
                 return
 
-            if not isinstance(target, Event):
-                self.env._active_process = None
+            try:
+                callbacks = target.callbacks
+            except AttributeError:
+                env._active_process = None
                 exc = SimulationError(
                     f"process {self.name!r} yielded non-event {target!r}"
                 )
                 self.generator.throw(exc)
                 raise exc
-            if target.callbacks is not None:
+            if callbacks is not None:
                 # Target still pending or scheduled: wait for it.
-                target.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = target
-                self.env._active_process = None
+                env._active_process = None
                 return
             # Target already processed: resume immediately with its value.
             event = target
@@ -208,6 +245,19 @@ class Process(Event):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+def _prune_combinator(self, fired: Event) -> None:
+    """Detach a fired combinator from its still-pending children so it
+    (and its values) are collectible instead of lingering in their
+    callback lists until they eventually fire."""
+    cb = self._on_child
+    for ev in self._events:
+        if ev is not fired and ev.callbacks is not None:
+            try:
+                ev.callbacks.remove(cb)
+            except ValueError:
+                pass
 
 
 class AllOf(Event):
@@ -239,10 +289,13 @@ class AllOf(Event):
             return
         if not ev._ok:
             self.fail(ev._value)
+            self._prune(ev)
             return
         self._remaining -= 1
         if self._remaining == 0:
             self.succeed([e._value for e in self._events])
+
+    _prune = _prune_combinator
 
 
 class AnyOf(Event):
@@ -273,6 +326,9 @@ class AnyOf(Event):
             self.succeed(ev._value)
         else:
             self.fail(ev._value)
+        self._prune(ev)
+
+    _prune = _prune_combinator
 
 
 class Environment:
@@ -302,6 +358,10 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` simulated seconds from now."""
         return Timeout(self, delay, value)
+
+    def wake_at(self, at: float, value: Any = None) -> Wake:
+        """An event firing at the absolute simulated time ``at``."""
+        return Wake(self, at, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new process from ``generator``."""
@@ -355,13 +415,14 @@ class Environment:
             if stop_time < self._now:
                 raise ValueError("cannot run until a time in the past")
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
+        queue = self._queue
+        step = self.step
+        while queue:
+            if stop_event is not None and stop_event.callbacks is None:
                 break
-            if stop_time is not None and self._queue[0][0] > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+            if stop_time is not None and queue[0][0] > stop_time:
+                break
+            step()
 
         if stop_event is not None:
             if not stop_event.triggered:

@@ -15,11 +15,23 @@ FIFO) and deterministic.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Generator, Optional
 
 from .core import Environment, Event, SimulationError
 
-__all__ = ["Request", "Resource", "PriorityResource", "Container", "Store"]
+__all__ = [
+    "Request",
+    "Resource",
+    "PriorityResource",
+    "Container",
+    "Store",
+    "hold_quantum",
+]
+
+#: escape hatch: set REPRO_NO_FASTPATH=1 to force the classic
+#: one-event-per-quantum resource holds (useful when bisecting)
+QUANTUM_COALESCE = os.environ.get("REPRO_NO_FASTPATH", "") in ("", "0")
 
 
 class Request(Event):
@@ -51,6 +63,7 @@ class Resource:
         self.users: list[Request] = []
         self.queue: list[Request] = []
         self._order = 0
+        self._arrival_watchers: list[Event] = []
 
     @property
     def count(self) -> int:
@@ -69,6 +82,27 @@ class Resource:
 
     def _enqueue(self, req: Request) -> None:
         self.queue.append(req)
+        if self._arrival_watchers:
+            watchers, self._arrival_watchers = self._arrival_watchers, []
+            for ev in watchers:
+                ev.succeed(self)
+
+    # -- arrival notification (coalesced holds) -------------------------
+    def watch_arrival(self) -> Event:
+        """A pending event fired the next time a request *queues* on
+        this resource (i.e. contention appears).  Holders sleeping
+        through an uncontended stretch watch this instead of waking
+        every quantum."""
+        ev = Event(self.env)
+        self._arrival_watchers.append(ev)
+        return ev
+
+    def unwatch_arrival(self, ev: Event) -> None:
+        """Deregister a watcher obtained from :meth:`watch_arrival`."""
+        try:
+            self._arrival_watchers.remove(ev)
+        except ValueError:
+            pass
 
     def release(self, req: Request) -> None:
         """Give the slot back and wake the next waiter."""
@@ -114,6 +148,78 @@ class PriorityResource(Resource):
     def _pop_next(self) -> Request:
         best = min(range(len(self.queue)), key=lambda i: (self.queue[i].priority, self.queue[i]._order))
         return self.queue.pop(best)
+
+
+def hold_quantum(
+    env: Environment,
+    resources: list[Resource],
+    reqs: list[Request],
+    total: float,
+    quantum: float,
+    priority: int = 0,
+) -> Generator:
+    """Hold granted slots for ``total`` seconds, yielding to competitors
+    at ``quantum`` boundaries.
+
+    Semantically this is the classic fairness loop — sleep one quantum,
+    then release/re-acquire whenever somebody is queued — but
+    uncontended stretches are covered by a *single* calendar entry
+    instead of one event per quantum: the holder sleeps on
+    ``AnyOf(wake-at-completion, arrival-watcher)`` and, if contention
+    appears mid-sleep, rejoins the quantum grid at the first boundary
+    after the arrival.  Boundary times replay the per-quantum float
+    additions, so resulting timestamps are identical to the sliced
+    path.
+
+    ``reqs`` is mutated in place as slots are released/re-acquired, so
+    a caller's ``finally`` block always releases the current requests.
+    Multiple resources (e.g. a sender's uplink plus a receiver's
+    downlink) release in reverse list order and re-acquire in list
+    order.  Use as ``yield from hold_quantum(...)`` inside a process.
+    """
+    remaining = total
+    while remaining > 0:
+        if remaining <= quantum:
+            yield env.timeout(remaining)
+            return
+        if any(r.queue for r in resources) or not QUANTUM_COALESCE:
+            yield env.timeout(quantum)
+            remaining -= quantum
+        else:
+            # Replay the per-quantum addition chain to the exact time
+            # the sliced loop would finish, then sleep there in one go.
+            start = env.now
+            end = start
+            rem = remaining
+            while rem > 0:
+                step = rem if rem < quantum else quantum
+                end += step
+                rem -= step
+            watchers = [r.watch_arrival() for r in resources]
+            wake = env.wake_at(end)
+            yield env.any_of([wake] + watchers)
+            for r, w in zip(resources, watchers):
+                r.unwatch_arrival(w)
+            if wake.callbacks is None:  # processed: hold ran to completion
+                return
+            # Contention arrived mid-sleep: rejoin the quantum grid at
+            # the first boundary after the arrival.
+            t_arr = env.now
+            b = start
+            rem = remaining
+            while rem > 0 and b <= t_arr:
+                step = rem if rem < quantum else quantum
+                b += step
+                rem -= step
+            remaining = rem
+            yield env.wake_at(b)
+        if remaining > 0 and any(r.queue for r in resources):
+            for i in range(len(resources) - 1, -1, -1):
+                resources[i].release(reqs[i])
+            for i, r in enumerate(resources):
+                req = r.request(priority)
+                yield req
+                reqs[i] = req
 
 
 class Container:

@@ -24,6 +24,7 @@ effect behind the paper's >100% "used percentage" entries).
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 from ..simengine import Environment, Event
@@ -62,15 +63,21 @@ class Inode:
     path: str
     size: int = 0
     nlink: int = 1
-    # extents: (file_offset, device_offset, length)
+    # extents: (file_offset, device_offset, length) — appended in file
+    # order, so file offsets are contiguous from 0 and sorted
     extents: list[tuple[int, int, int]] = field(default_factory=list)
 
     def allocated_bytes(self) -> int:
-        return sum(e[2] for e in self.extents)
+        if not self.extents:
+            return 0
+        fo, _do, ln = self.extents[-1]
+        return fo + ln
 
     def device_offset(self, file_offset: int) -> int:
         """Device byte address backing ``file_offset``."""
-        for fo, do, ln in self.extents:
+        i = bisect.bisect_right(self.extents, file_offset, key=lambda e: e[0]) - 1
+        if i >= 0:
+            fo, do, ln = self.extents[i]
             if fo <= file_offset < fo + ln:
                 return do + (file_offset - fo)
         raise KeyError(f"offset {file_offset} beyond allocation of {self.path!r}")

@@ -237,3 +237,93 @@ def test_nested_all_any_composition():
     value = env.run(env.any_of([inner, env.timeout(10, "late")]))
     assert value == [1, 2]
     assert env.now == 2.0
+
+
+# ----------------------------------------------------------------------
+# combinator callback pruning and absolute-time wake-ups
+# ----------------------------------------------------------------------
+def test_anyof_prunes_losing_callbacks():
+    """A fired AnyOf detaches itself from the still-pending events."""
+    env = Environment()
+    fast = env.timeout(1)
+    slow = env.timeout(100)
+    any_ev = env.any_of([fast, slow])
+    assert any(cb == any_ev._on_child for cb in slow.callbacks)
+    env.run(any_ev)
+    assert all(cb != any_ev._on_child for cb in slow.callbacks)
+
+
+def test_allof_failfast_prunes_pending_callbacks():
+    """AllOf that fails fast detaches from the events still pending."""
+    env = Environment()
+    bad = env.event()
+    slow = env.timeout(100)
+    all_ev = env.all_of([bad, slow])
+    bad.fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError):
+        env.run(all_ev)
+    assert all(cb != all_ev._on_child for cb in slow.callbacks)
+
+
+def test_anyof_pending_events_still_usable_after_prune():
+    """Losing events fire normally for other waiters after the prune."""
+    env = Environment()
+    fast = env.timeout(1, "fast")
+    slow = env.timeout(2, "slow")
+    assert env.run(env.any_of([fast, slow])) == "fast"
+    assert env.run(slow) == "slow"
+    assert env.now == 2.0
+
+
+def test_wake_at_absolute_time():
+    from repro.simengine import Wake
+
+    env = Environment()
+    ev = env.wake_at(3.5, value="tick")
+    assert isinstance(ev, Wake)
+    assert env.run(ev) == "tick"
+    assert env.now == 3.5
+
+
+def test_wake_at_past_time_rejected():
+    env = Environment()
+    env.run(env.timeout(2))
+    with pytest.raises(ValueError):
+        env.wake_at(1.0)
+
+
+def test_run_until_time_sets_clock_exactly_once():
+    """Regression: run(until=t) with an empty calendar must assign the
+    clock once (it used to set it both in the loop epilogue and in a
+    duplicated final assignment)."""
+    sets = []
+
+    class Probe(Environment):
+        def __setattr__(self, name, value):
+            if name == "_now":
+                sets.append(value)
+            object.__setattr__(self, name, value)
+
+    env = Probe()
+    sets.clear()  # drop the constructor's initial assignment
+    env.run(until=4.0)
+    assert sets == [4.0]
+    assert env.now == 4.0
+
+
+def test_run_until_time_with_events_sets_clock_once_per_step():
+    sets = []
+
+    class Probe(Environment):
+        def __setattr__(self, name, value):
+            if name == "_now":
+                sets.append(value)
+            object.__setattr__(self, name, value)
+
+    env = Probe()
+    env.timeout(1)
+    env.timeout(2)
+    sets.clear()
+    env.run(until=5.0)
+    # one assignment per processed event, plus exactly one for the stop time
+    assert sets == [1.0, 2.0, 5.0]
