@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Perf-regression guard: fresh benchmark timings vs committed baselines.
+
+Compares the timing keys that gate the pipeline's interactive speed —
+serial characterization and full (no-fastpath) evaluation — between a
+freshly generated ``BENCH_*.json`` and the committed baseline of the
+same name.  Fails (exit 1) when a fresh timing is more than
+``--factor`` (default 1.25, i.e. >25% slowdown) above the baseline.
+
+CI machines are not the machines the baselines were recorded on, so
+the factor is deliberately generous: the guard catches order-of-
+magnitude regressions (an accidentally disabled fastpath, a quadratic
+loop), not single-digit-percent noise.  Set ``REPRO_PERF_GUARD_FACTOR``
+or pass ``--factor`` to loosen it further on noisy runners.
+
+Usage::
+
+    python scripts/perf_guard.py \
+        --baseline BENCH_characterize.json --fresh fresh_characterize.json \
+        --baseline BENCH_evaluate.json     --fresh fresh_evaluate.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+#: benchmark name -> timing keys guarded (see cmd_perf in repro.cli)
+GUARDED_KEYS = {
+    "characterize": ("characterize_serial",),
+    "evaluate": ("evaluate_full",),
+}
+
+
+def load(path: str) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def check(baseline_path: str, fresh_path: str, factor: float) -> list[str]:
+    """Return a list of violation messages (empty = pass)."""
+    if not Path(baseline_path).exists():
+        print(f"perf-guard: no baseline {baseline_path} — skipping")
+        return []
+    baseline = load(baseline_path)
+    fresh = load(fresh_path)
+    kind = fresh.get("benchmark", "")
+    keys = GUARDED_KEYS.get(kind, ())
+    if baseline.get("benchmark", "") != kind:
+        print(
+            f"perf-guard: {baseline_path} is a {baseline.get('benchmark')!r} "
+            f"baseline but {fresh_path} is {kind!r} — skipping"
+        )
+        return []
+    problems = []
+    for key in keys:
+        base = baseline.get("timings_s", {}).get(key)
+        now = fresh.get("timings_s", {}).get(key)
+        if base is None or now is None:
+            print(f"perf-guard: {key}: missing in baseline or fresh run — skipping")
+            continue
+        ratio = now / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > factor else "ok"
+        print(
+            f"perf-guard: {key}: baseline {base:.3f}s fresh {now:.3f}s "
+            f"(x{ratio:.2f}, limit x{factor:.2f}) {verdict}"
+        )
+        if ratio > factor:
+            problems.append(
+                f"{key}: {now:.3f}s is {ratio:.2f}x the committed {base:.3f}s "
+                f"(limit {factor:.2f}x)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", action="append", default=[], help="committed BENCH_*.json"
+    )
+    parser.add_argument(
+        "--fresh", action="append", default=[], help="freshly generated BENCH_*.json"
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=float(os.environ.get("REPRO_PERF_GUARD_FACTOR", "1.25")),
+        help="max allowed fresh/baseline timing ratio (default 1.25)",
+    )
+    args = parser.parse_args(argv)
+    if len(args.baseline) != len(args.fresh):
+        parser.error("--baseline and --fresh must be paired")
+    problems: list[str] = []
+    for base, fresh in zip(args.baseline, args.fresh):
+        problems += check(base, fresh, args.factor)
+    if problems:
+        print("perf-guard: REGRESSION DETECTED", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print("perf-guard: all guarded timings within limits")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -200,13 +200,21 @@ def cmd_perf(args) -> int:
     print(f"  evaluate serial        {eval_serial_s:8.2f}s", file=sys.stderr)
     print(f"  evaluate parallel      {eval_parallel_s:8.2f}s", file=sys.stderr)
 
+    try:
+        # the CPUs this process may actually use (cgroup/affinity aware)
+        cpu_effective = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpu_effective = os.cpu_count()
+    host = {
+        "cpu_count": os.cpu_count(),
+        "cpu_effective": cpu_effective,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
     result = {
         "benchmark": "characterize",
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "host": host,
         "params": {
             "configs": sorted(configs),
             "quick": bool(args.quick),
@@ -235,6 +243,91 @@ def cmd_perf(args) -> int:
     if not identical:
         print("ERROR: serial/parallel/cached tables differ", file=sys.stderr)
         return 1
+
+    # ---- evaluation benchmark: full replay vs phase fastpath vs warm start
+    from .core.evaluation import used_tables_equal
+    from .workloads.apps import BTIOApplication
+    from .workloads.btio import BTIOConfig
+
+    if args.quick:
+        eval_apps = {
+            "btio": BTIOApplication(BTIOConfig(clazz="W", nprocs=4, subtype="full")),
+            "madbench": MadBenchApplication(MadBenchConfig(kpix=2, nprocs=4)),
+        }
+    else:
+        eval_apps = {
+            "btio": BTIOApplication(BTIOConfig(clazz="A", nprocs=16, subtype="full")),
+            "madbench": MadBenchApplication(MadBenchConfig(kpix=6, nprocs=16)),
+        }
+
+    per_app = {}
+    totals = {"full": 0.0, "fastpath": 0.0, "warm_start": 0.0}
+    eval_identical = True
+    for app_name, eapp in eval_apps.items():
+        full_s, full_r = timed(
+            lambda: m_serial.evaluate(eapp, n_jobs=1, phase_fastpath=False)
+        )
+        fast_s, fast_r = timed(
+            lambda: m_serial.evaluate(eapp, n_jobs=1, phase_fastpath=True)
+        )
+        warm_s, warm_r = timed(
+            lambda: m_serial.evaluate(eapp, n_jobs=1, phase_fastpath=True, warm_start=True)
+        )
+        same = all(
+            used_tables_equal(full_r[n].used, fast_r[n].used, rel_tol=1e-5)
+            and used_tables_equal(full_r[n].used, warm_r[n].used, rel_tol=1e-5)
+            and full_r[n].write_bottleneck() == fast_r[n].write_bottleneck()
+            and full_r[n].read_bottleneck() == fast_r[n].read_bottleneck()
+            for n in full_r
+        )
+        eval_identical = eval_identical and same
+        totals["full"] += full_s
+        totals["fastpath"] += fast_s
+        totals["warm_start"] += warm_s
+        per_app[app_name] = {
+            "full_s": round(full_s, 4),
+            "fastpath_s": round(fast_s, 4),
+            "warm_start_s": round(warm_s, 4),
+            "speedup_fastpath": round(full_s / fast_s, 3) if fast_s > 0 else None,
+            "speedup_warm_start": round(full_s / warm_s, 3) if warm_s > 0 else None,
+            "tables_identical": same,
+            "replay": {
+                n: r.replay.as_dict() for n, r in fast_r.items() if r.replay is not None
+            },
+        }
+        print(f"  evaluate {app_name:<9} full {full_s:7.2f}s  "
+              f"fastpath {fast_s:7.2f}s  warm {warm_s:7.2f}s", file=sys.stderr)
+
+    eval_result = {
+        "benchmark": "evaluate",
+        "host": host,
+        "params": {
+            "configs": sorted(configs),
+            "quick": bool(args.quick),
+            "apps": sorted(eval_apps),
+        },
+        "timings_s": {
+            "evaluate_full": round(totals["full"], 4),
+            "evaluate_fastpath": round(totals["fastpath"], 4),
+            "evaluate_warm_start": round(totals["warm_start"], 4),
+        },
+        "speedup": {
+            "fastpath": round(totals["full"] / totals["fastpath"], 3)
+            if totals["fastpath"] > 0 else None,
+            "warm_start": round(totals["full"] / totals["warm_start"], 3)
+            if totals["warm_start"] > 0 else None,
+        },
+        "per_app": per_app,
+        "tables_identical": eval_identical,
+    }
+    eval_out = Path(args.eval_out)
+    eval_out.write_text(json.dumps(eval_result, indent=2) + "\n")
+    print(f"  -> wrote {eval_out}", file=sys.stderr)
+    print(json.dumps(eval_result, indent=2))
+    if not eval_identical:
+        print("ERROR: fastpath/warm-start used tables differ from full replay",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -261,6 +354,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "keyed by config fingerprint + sweep params)")
         sp.add_argument("--refresh", action="store_true",
                         help="recompute and overwrite cached tables")
+        sp.add_argument("--no-phase-fastpath", action="store_true",
+                        help="disable phase-replay extrapolation: fully "
+                             "simulate every phase occurrence (also the "
+                             "REPRO_NO_PHASE_FASTPATH environment variable)")
 
     c = sub.add_parser("characterize", help="phase 1: build performance tables")
     common(c)
@@ -291,12 +388,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="small sweep suitable for CI (seconds, not minutes)")
     pf.add_argument("--out", default="BENCH_characterize.json",
                     help="JSON results file (default: BENCH_characterize.json)")
+    pf.add_argument("--eval-out", default="BENCH_evaluate.json",
+                    help="evaluation-benchmark JSON file (default: BENCH_evaluate.json)")
     pf.set_defaults(func=cmd_perf)
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_phase_fastpath", False):
+        import os
+
+        # propagate to worker processes spawned by run_tasks
+        os.environ["REPRO_NO_PHASE_FASTPATH"] = "1"
     return args.func(args)
 
 

@@ -128,14 +128,48 @@ class System:
         server_vfs.mount("/local", self.export)
         self.server_node.vfs = server_vfs
 
+        #: replay settings applied to worlds built over this system
+        #: (None = per-world :meth:`ReplaySettings.from_env` default)
+        self.replay_settings = None
+        #: accelerator of the most recent world (its stats outlive the run)
+        self.last_replay = None
+
     # -- convenience -----------------------------------------------------
     def world(self, nprocs: int, placement: str = "block", tracer=None, io_hints=None):
         """An :class:`~repro.mpi.sim.MPIWorld` over this system."""
         from ..mpi.sim import MPIWorld
 
-        return MPIWorld(
-            self.env, self.cluster, nprocs, placement=placement, tracer=tracer, io_hints=io_hints
+        w = MPIWorld(
+            self.env, self.cluster, nprocs, placement=placement, tracer=tracer,
+            io_hints=io_hints, replay_settings=self.replay_settings,
         )
+        self.last_replay = w.replay
+        return w
+
+    def reset(self) -> None:
+        """Return every mutable component to its just-built state.
+
+        Warm-start support: evaluating N workloads on one configuration
+        reuses a single built topology instead of reconstructing nodes,
+        networks, disks and filesystems per run.  After ``reset()`` the
+        system is indistinguishable from a fresh :func:`build_system`
+        of the same config (same simulated timings, same determinism),
+        just without the construction cost.
+        """
+        self.env.reset()
+        self.export.reset()
+        self.nfs_server.reset()
+        self.server_node.reset()
+        for node in self.compute:
+            node.reset()
+        for lfs in self.local_fs.values():
+            lfs.reset()
+        for mount in self.nfs_mounts.values():
+            mount.reset()
+        self.cluster.comm_network.reset()
+        if not self.cluster.shared_network:
+            self.cluster.data_network.reset()
+        self.last_replay = None
 
     def node(self, name: str) -> Node:
         return self.cluster.node(name)
@@ -151,3 +185,25 @@ class System:
 def build_system(env: Environment, config: SystemConfig) -> System:
     """Build a system from its configuration (the main factory)."""
     return System(env, config)
+
+
+#: per-process pool of built systems, keyed by config fingerprint
+_WARM_SYSTEMS: dict[str, System] = {}
+
+
+def warm_system(config: SystemConfig) -> System:
+    """A reset, ready-to-run system for ``config``, reusing a
+    previously built topology for the same configuration when one
+    exists in this process.
+
+    The pooled system owns its :class:`Environment`; callers must not
+    share it across concurrent runs (the evaluation workers are
+    separate processes, so each keeps its own pool).
+    """
+    key = config.fingerprint()
+    system = _WARM_SYSTEMS.get(key)
+    if system is None:
+        system = _WARM_SYSTEMS[key] = build_system(Environment(), config)
+    else:
+        system.reset()
+    return system

@@ -30,6 +30,7 @@ __all__ = [
     "UsedPercentageTable",
     "generate_used_percentage",
     "bottleneck_level",
+    "used_tables_equal",
     "EvaluationReport",
 ]
 
@@ -124,6 +125,39 @@ def bottleneck_level(
     return None
 
 
+def used_tables_equal(
+    a: UsedPercentageTable,
+    b: UsedPercentageTable,
+    rel_tol: float = 1e-9,
+) -> bool:
+    """Structural equality of two used-percentage tables.
+
+    The phase-replay fastpath promises the *same* evaluation verdict as
+    full replay: identical row structure (level, op, block, mode,
+    access, characterized rate) and application rates equal within
+    ``rel_tol``.  This is the acceptance check used by the fastpath
+    tests and the ``repro perf`` evaluation benchmark.
+    """
+    from math import isclose
+
+    if len(a.rows) != len(b.rows):
+        return False
+    for ra, rb in zip(a.rows, b.rows):
+        if (ra.level, ra.op, ra.block_bytes, ra.mode, ra.access) != (
+            rb.level, rb.op, rb.block_bytes, rb.mode, rb.access
+        ):
+            return False
+        if (ra.characterized_Bps is None) != (rb.characterized_Bps is None):
+            return False
+        if ra.characterized_Bps is not None and not isclose(
+            ra.characterized_Bps, rb.characterized_Bps, rel_tol=rel_tol
+        ):
+            return False
+        if not isclose(ra.app_rate_Bps, rb.app_rate_Bps, rel_tol=rel_tol):
+            return False
+    return True
+
+
 @dataclass
 class EvaluationReport:
     """Everything the evaluation phase produces for one configuration."""
@@ -135,6 +169,9 @@ class EvaluationReport:
     bytes_read: int
     used: UsedPercentageTable
     profile: AppProfile
+    #: phase-replay accelerator statistics of the run (ReplayStats),
+    #: when the application surfaced them; ``None`` otherwise
+    replay: object = None
 
     @property
     def io_fraction(self) -> float:

@@ -62,11 +62,24 @@ def _characterize_unit(task) -> PerformanceTable:
 
 def _evaluate_unit(task) -> EvaluationReport:
     """Worker: run the application on one configuration."""
-    name, config, app, access, tables = task
-    system = build_system(Environment(), config)
+    name, config, app, access, tables, phase_fastpath, warm_start = task
+    from dataclasses import replace as _replace
+    from ..clusters.builder import warm_system
+    from .replay import ReplaySettings
+
+    if warm_start:
+        # reuse this worker's previously built topology for the config
+        system = warm_system(config)
+    else:
+        system = build_system(Environment(), config)
+    settings = ReplaySettings.from_env()
+    if phase_fastpath is not None:
+        settings = _replace(settings, enabled=bool(phase_fastpath))
+    system.replay_settings = settings
     run = app.run(system)
     profile = characterize_app(run.tracer, access=access)
     used = generate_used_percentage(name, profile, tables)
+    replay = system.last_replay.stats if system.last_replay is not None else None
     return EvaluationReport(
         config_name=name,
         execution_time_s=run.execution_time_s,
@@ -75,6 +88,7 @@ def _evaluate_unit(task) -> EvaluationReport:
         bytes_read=run.bytes_read,
         used=used,
         profile=profile,
+        replay=replay,
     )
 
 
@@ -214,6 +228,8 @@ class Methodology:
         names: Optional[Sequence[str]] = None,
         access: AccessType = AccessType.GLOBAL,
         n_jobs: Optional[int] = None,
+        phase_fastpath: Optional[bool] = None,
+        warm_start: bool = False,
     ) -> dict[str, EvaluationReport]:
         """Run the application on each configuration and compare against
         the characterized tables (phase 1 must have run).
@@ -221,13 +237,21 @@ class Methodology:
         Each configuration runs on its own fresh system, so ``n_jobs``
         fans the runs out over worker processes exactly like
         :meth:`characterize`; reports come back keyed in input order.
+
+        ``phase_fastpath`` forces the phase-replay accelerator on or
+        off for every run (``None`` keeps the environment default, see
+        ``REPRO_NO_PHASE_FASTPATH``).  ``warm_start=True`` reuses one
+        built system per configuration within each worker process
+        (reset between runs) instead of rebuilding the topology — the
+        results are identical either way.
         """
         names = list(names or self.configs)
         for name in names:
             if name not in self.tables:
                 raise RuntimeError(f"configuration {name!r} not characterized yet")
         tasks = [
-            (name, self.configs[name], app, access, self.tables[name])
+            (name, self.configs[name], app, access, self.tables[name],
+             phase_fastpath, warm_start)
             for name in names
         ]
         results = run_tasks(_evaluate_unit, tasks, n_jobs)

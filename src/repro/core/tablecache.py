@@ -81,6 +81,20 @@ class TableCache:
             tables[level] = PerformanceTable.from_csv(level, path.read_text())
         return tables
 
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        """Publish ``text`` at ``path`` via temp file + ``os.replace``.
+
+        Concurrent characterization runs (parallel workers, parallel
+        CI jobs sharing a cache volume) may store the same entry at
+        once; the rename is atomic on POSIX, so a reader either sees
+        the old complete file or the new complete file, never a
+        truncated one.
+        """
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
     def store(
         self,
         key: str,
@@ -88,15 +102,21 @@ class TableCache:
         tables: dict[str, PerformanceTable],
         meta: Optional[dict] = None,
     ) -> Path:
-        """Write ``tables`` under ``key``; returns the entry directory."""
+        """Write ``tables`` under ``key``; returns the entry directory.
+
+        Each file is written atomically, and ``meta.json`` last — an
+        entry with a ``meta.json`` always has complete tables.
+        """
         entry = self.entry_dir(key)
         entry.mkdir(parents=True, exist_ok=True)
         for level, table in tables.items():
-            (entry / f"{config_name}_{level}.csv").write_text(table.to_csv())
+            self._write_atomic(entry / f"{config_name}_{level}.csv", table.to_csv())
         record = {"config": config_name, "levels": sorted(tables)}
         if meta:
             record.update(meta)
-        (entry / "meta.json").write_text(json.dumps(record, indent=2, sort_keys=True))
+        self._write_atomic(
+            entry / "meta.json", json.dumps(record, indent=2, sort_keys=True)
+        )
         return entry
 
     # ------------------------------------------------------------------

@@ -215,10 +215,23 @@ class Disk:
                 self.env, [self.head], reqs, total, self.QUANTUM_S, priority
             )
         finally:
-            self.head.release(reqs[0])
+            # skip the release when the generator is being closed after
+            # the environment was abandoned or reset (e.g. a background
+            # flush still in flight when the program finished): the
+            # slot is no longer held then
+            if reqs[0] in self.head.users:
+                self.head.release(reqs[0])
         return total_bytes
 
     @property
     def utilization(self) -> float:
         """Fraction of elapsed simulated time the head was busy."""
         return self.stats.busy_s / self.env.now if self.env.now > 0 else 0.0
+
+    def reset(self) -> None:
+        """Park the head and zero all state (warm reuse)."""
+        self.head.reset()
+        self.stats = DiskStats()
+        self._head_pos = 0
+        self._ra_start = -1
+        self._ra_end = -1

@@ -86,7 +86,10 @@ class Link:
                 self.env, [self.channel], reqs, total, self.QUANTUM_S, priority
             )
         finally:
-            self.channel.release(reqs[0])
+            # held-check: a teardown close (abandoned/reset env) may
+            # arrive while hold_quantum is between release and re-grant
+            if reqs[0] in self.channel.users:
+                self.channel.release(reqs[0])
         # propagation latency of the tail message (pipelined with the rest)
         yield self.env.timeout(self.spec.latency_s)
         return nbytes * count
@@ -94,6 +97,13 @@ class Link:
     @property
     def utilization(self) -> float:
         return self.busy_s / self.env.now if self.env.now > 0 else 0.0
+
+    def reset(self) -> None:
+        """Clear channel occupancy and traffic counters (warm reuse)."""
+        self.channel.reset()
+        self.bytes_carried = 0
+        self.messages = 0
+        self.busy_s = 0.0
 
 
 class Network:
@@ -175,10 +185,19 @@ class Network:
                 priority,
             )
         finally:
-            down.channel.release(reqs[1])
-            up.channel.release(reqs[0])
+            if reqs[1] in down.channel.users:
+                down.channel.release(reqs[1])
+            if reqs[0] in up.channel.users:
+                up.channel.release(reqs[0])
         yield self.env.timeout(self.spec.latency_s)
         return nbytes * count
+
+    def reset(self) -> None:
+        """Reset every link of the fabric (warm reuse)."""
+        for link in self.uplinks.values():
+            link.reset()
+        for link in self.downlinks.values():
+            link.reset()
 
     def estimate_point_to_point(self, nbytes: int) -> float:
         """Uncontended one-message A→B time (for cost-model callers)."""

@@ -480,6 +480,18 @@ class RAIDArray:
         return self.env.all_of(evs)
 
     # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop cache/failure state and reset every member (warm reuse)."""
+        for d in self.disks:
+            d.reset()
+        self._failed.clear()
+        self._dirty = 0
+        self._pending_flush.clear()
+        self._space_waiters.clear()
+        self._flusher_running = False
+        self._drained = self.env.event()
+        self._drained.succeed()
+
     @property
     def stats(self):
         """Aggregated member-disk statistics."""

@@ -72,27 +72,151 @@ class MPIFile:
     def read_at(self, offset: int, nbytes: int, count: int = 1, stride: Optional[int] = None) -> Event:
         return self._independent(IORequest("read", offset, nbytes, count, stride))
 
+    def write_at_multi(self, parts) -> Event:
+        """Issue a batch of independent writes as one operation.
+
+        ``parts`` is an iterable of ``(offset, nbytes, count, stride)``
+        tuples, executed in order.  Semantically identical to calling
+        :meth:`write_at` per part, but the whole batch runs inside one
+        process, and once the parts' phases are steady a run of
+        consecutive extrapolated parts collapses into a single calendar
+        entry — the per-part trace timestamps replay the sequential
+        addition chain, so traces are unchanged.
+        """
+        return self._independent_multi(
+            [IORequest("write", off, nb, count, stride) for off, nb, count, stride in parts]
+        )
+
+    def read_at_multi(self, parts) -> Event:
+        """Batch counterpart of :meth:`read_at`; see :meth:`write_at_multi`."""
+        return self._independent_multi(
+            [IORequest("read", off, nb, count, stride) for off, nb, count, stride in parts]
+        )
+
+    def _phase_key(self, req: IORequest) -> tuple:
+        """Replay key of an independent request: the PhaseDetector
+        signature geometry plus rank, barrier epoch and the target
+        filesystem's cache-regime token (offsets are excluded —
+        successive occurrences append at moving offsets)."""
+        return (
+            self.ctx.rank,
+            self.ctx.phase_epoch,
+            self.path,
+            req.op,
+            req.nbytes,
+            req.count,
+            req.stride if req.stride is not None else 0,
+            self.fs.state_token(self.inode, req),
+        )
+
+    def _independent_body(self, req: IORequest):
+        """The fully simulated service of one independent request."""
+        if req.op == "read" and self.hints.ds_read:
+            from ..iolib.sieving import plan_sieve, should_sieve
+
+            if should_sieve(req, self.hints.ds_buffer_bytes):
+                # data sieving: dense covering reads + in-memory extract
+                plan = plan_sieve(req, self.hints.ds_buffer_bytes)
+                for sub in plan.requests:
+                    yield self.fs.submit_direct(self.inode, sub)
+                yield self.env.timeout(
+                    self.ctx.node.memcpy_time(plan.fetched_bytes)
+                )
+                return
+        yield self.fs.submit_direct(self.inode, req)
+
+    def _phase_group(self, key: tuple) -> tuple:
+        """Group tying this phase to its siblings on other ranks.
+
+        The key minus rank and path: concurrent ranks running the same
+        barrier-delimited pattern — whether against one shared file or
+        per-rank unique files — extrapolate all-or-nothing, so no rank
+        ever simulates an occurrence with a sibling's load missing.
+        """
+        return ("ind",) + key[1:2] + key[3:]
+
+    def _phase_scope(self, epoch: int) -> tuple:
+        """Consistency scope of this file's I/O phases.
+
+        I/O phases of one barrier epoch contend through the storage
+        stack and data network, so their groups extrapolate only when
+        *all* of them are steady (MADbench2's W function interleaves
+        reads and writes — extrapolating one while simulating the
+        other strips its load from the simulation).  On a single
+        shared fabric they additionally contend with message traffic
+        and join the communication regions' scope.
+        """
+        kind = "shared" if self.ctx.world.cluster.shared_network else "io"
+        return (kind, epoch)
+
     def _independent(self, req: IORequest) -> Event:
         def _op():
             t0 = self.env.now
-            if req.op == "read" and self.hints.ds_read:
-                from ..iolib.sieving import plan_sieve, should_sieve
-
-                if should_sieve(req, self.hints.ds_buffer_bytes):
-                    # data sieving: dense covering reads + in-memory extract
-                    plan = plan_sieve(req, self.hints.ds_buffer_bytes)
-                    for sub in plan.requests:
-                        yield self.fs.submit_direct(self.inode, sub)
-                    yield self.env.timeout(
-                        self.ctx.node.memcpy_time(plan.fetched_bytes)
-                    )
-                    self._trace(req, t0, collective=False)
-                    return req.total_bytes
-            yield self.fs.submit_direct(self.inode, req)
+            replay = self.ctx.world.replay
+            key = self._phase_key(req)
+            group = self._phase_group(key)
+            scope = self._phase_scope(key[1])
+            steady = replay.steady(key, group, scope)
+            if steady is not None:
+                # verified-steady phase: charge the known duration and
+                # apply the state side effects analytically
+                self.fs.absorb(self.inode, req)
+                if steady > 0.0:
+                    yield self.env.timeout(steady)
+                self._trace(req, t0, collective=False)
+                return req.total_bytes
+            yield from self._independent_body(req)
+            replay.observe(key, self.env.now - t0, group, scope)
             self._trace(req, t0, collective=False)
             return req.total_bytes
 
         return self.env.process(_op(), name=f"mpiio.r{self.ctx.rank}.{req.op}")
+
+    def _independent_multi(self, reqs: list[IORequest]) -> Event:
+        def _op():
+            replay = self.ctx.world.replay
+            total = 0
+            i = 0
+            n = len(reqs)
+            while i < n:
+                req = reqs[i]
+                key = self._phase_key(req)
+                scope = self._phase_scope(key[1])
+                steady = replay.steady(key, self._phase_group(key), scope)
+                if steady is None:
+                    t0 = self.env.now
+                    yield from self._independent_body(req)
+                    # observe under the pre-execution key: that is the
+                    # state steady() will be consulted with next time
+                    replay.observe(key, self.env.now - t0, self._phase_group(key), scope)
+                    self._trace(req, t0, collective=False)
+                    total += req.total_bytes
+                    i += 1
+                    continue
+                # Coalesce the run of consecutive steady parts into one
+                # calendar entry; per-part trace times replay the
+                # sequential timeout chain exactly.
+                run = [(req, steady)]
+                i += 1
+                while i < n:
+                    key = self._phase_key(reqs[i])
+                    s = replay.steady(key, self._phase_group(key), self._phase_scope(key[1]))
+                    if s is None:
+                        break
+                    run.append((reqs[i], s))
+                    i += 1
+                end = self.env.now
+                for r, s in run:
+                    self.fs.absorb(self.inode, r)
+                    start = end
+                    end = end + s
+                    self._trace(r, start, collective=False, t_end=end)
+                    total += r.total_bytes
+                if end > self.env.now:
+                    yield self.env.wake_at(end)
+            return total
+
+        return self.env.process(_op(), name=f"mpiio.r{self.ctx.rank}.multi")
 
     # ------------------------------------------------------------------
     # collective operations (two-phase I/O)
@@ -114,11 +238,38 @@ class MPIFile:
                 f"cio:{self.path}:{req.op}", self.ctx.rank, (self.ctx.rank, req)
             )
             if last:
+                # Only the last-arriving rank consults the accelerator,
+                # so the extrapolate-or-simulate decision is made once
+                # per call site and every rank sees the same completion.
                 reqs = yield point.all_arrived
-                result = yield self.env.process(
-                    _two_phase(world, self, req.op, dict(reqs.values())),
-                    name=f"twophase.{req.op}",
-                )
+                reqmap = dict(reqs.values())
+                replay = world.replay
+                active = {r: q for r, q in reqmap.items() if q.total_bytes > 0}
+                plan = _io_domains(world, self, req.op, active) if active else None
+                key = _collective_key(self.path, req.op, self.ctx.phase_epoch, reqmap)
+                if plan is not None:
+                    # aggregator cache regimes: same rationale as the
+                    # independent key's state token
+                    key += (tuple(
+                        afs.state_token(self.inode, dreq) for afs, dreq in plan[1]
+                    ),)
+                # one logical phase per call site (the collective is
+                # already globally synchronized), but grouped so the
+                # scope rule couples it to concurrent phases
+                group = ("cg",) + key
+                scope = self._phase_scope(self.ctx.phase_epoch)
+                steady = replay.steady(key, group, scope)
+                if steady is not None:
+                    result = _absorb_two_phase(world, self, active, plan)
+                    if steady > 0.0:
+                        yield self.env.timeout(steady)
+                else:
+                    t1 = self.env.now
+                    result = yield self.env.process(
+                        _two_phase(world, self, req.op, active, plan),
+                        name=f"twophase.{req.op}",
+                    )
+                    replay.observe(key, self.env.now - t1, group, scope)
                 point.done.succeed(result)
             else:
                 yield point.done
@@ -162,7 +313,9 @@ class MPIFile:
     def size(self) -> int:
         return self.inode.size
 
-    def _trace(self, req: IORequest, t0: float, collective: bool) -> None:
+    def _trace(
+        self, req: IORequest, t0: float, collective: bool, t_end: Optional[float] = None
+    ) -> None:
         if self.ctx.world.tracer is not None:
             from ..tracing.events import IOEvent
 
@@ -175,35 +328,98 @@ class MPIFile:
                     count=req.count,
                     stride=req.stride,
                     t_start=t0,
-                    t_end=self.env.now,
+                    t_end=self.env.now if t_end is None else t_end,
                     path=self.path,
                     collective=collective,
                 )
             )
 
 
-def _two_phase(world, mfile: MPIFile, op: str, reqs: dict[int, IORequest]):
-    """ROMIO's generalised two-phase collective buffering.
+def _collective_key(path: str, op: str, epoch: int, reqs: dict[int, IORequest]) -> tuple:
+    """Replay key of a collective call site.
 
-    ``reqs`` maps rank -> its request.  Aggregators own contiguous file
-    domains; the exchange phase moves every rank's bytes to/from the
-    owning aggregators over the communication network, the I/O phase
-    moves whole domains through the filesystem.
+    The per-rank request geometry is offset-normalised against the
+    call's lowest offset, so successive appended I/O steps (BT-IO's
+    per-step ``base``) share a key while any change of shape, size or
+    participating ranks produces a new phase.
     """
-    env = world.env
-    hints = mfile.hints
+    geoms = sorted(
+        (r, q.offset, q.nbytes, q.count, q.stride if q.stride is not None else 0)
+        for r, q in reqs.items()
+    )
+    base = min((g[1] for g in geoms), default=0)
+    return (
+        "coll",
+        path,
+        op,
+        epoch,
+        tuple((r, off - base, nb, c, s) for r, off, nb, c, s in geoms),
+    )
+
+
+def _io_domains(world, mfile: MPIFile, op: str, active: dict[int, IORequest]):
+    """The aggregator file domains of one two-phase call.
+
+    Shared between the simulated I/O phase and the analytic absorb
+    path so both mutate identical filesystem state.  Returns
+    ``(aggs, [(fs, domain_request), ...], total_bytes)``.
+    """
     from ..iolib.aggregation import select_aggregators
 
-    aggs = select_aggregators([world.node_of(r).name for r in range(world.nprocs)], hints.cb_nodes)
+    aggs = select_aggregators(
+        [world.node_of(r).name for r in range(world.nprocs)], mfile.hints.cb_nodes
+    )
     nagg = len(aggs)
-
-    active = {r: q for r, q in reqs.items() if q.total_bytes > 0}
-    if not active:
-        return 0
     lo = min(q.offset for q in active.values())
     hi = max(q.offset + q.span for q in active.values())
     span = hi - lo
     total = sum(q.total_bytes for q in active.values())
+    # File domains cover only the bytes actually requested (ROMIO
+    # computes the union of the requests): a segmented pattern with
+    # holes does not write the holes.  Domains are spread over the span
+    # so aggregators hit disjoint file regions.
+    covered = min(total, span)
+    domain_stride = span // nagg
+    domain = covered // nagg
+    domains = []
+    for i, a in enumerate(aggs):
+        off = lo + i * domain_stride
+        length = domain if i < nagg - 1 else covered - domain * (nagg - 1)
+        if length <= 0:
+            continue
+        afs = world.ranks[a].node.vfs.resolve(mfile.path)
+        domains.append((afs, IORequest(op, off, length)))
+    return aggs, domains, total
+
+
+def _absorb_two_phase(world, mfile: MPIFile, active: dict[int, IORequest], plan) -> int:
+    """Apply a steady collective call's state side effects analytically:
+    the aggregator domains land in (or refresh) the target filesystems
+    exactly as the simulated I/O phase would, with no simulated time."""
+    if not active or plan is None:
+        return 0
+    _aggs, domains, total = plan
+    for afs, dreq in domains:
+        afs.absorb(mfile.inode, dreq)
+    return total
+
+
+def _two_phase(world, mfile: MPIFile, op: str, active: dict[int, IORequest], plan=None):
+    """ROMIO's generalised two-phase collective buffering.
+
+    ``active`` maps rank -> its (non-empty) request.  Aggregators own
+    contiguous file domains (``plan``, precomputed by the caller via
+    :func:`_io_domains` or derived here); the exchange phase moves
+    every rank's bytes to/from the owning aggregators over the
+    communication network, the I/O phase moves whole domains through
+    the filesystem.
+    """
+    env = world.env
+
+    if not active:
+        return 0
+    aggs, domains, total = plan if plan is not None else _io_domains(world, mfile, op, active)
+    nagg = len(aggs)
 
     # --- exchange phase -----------------------------------------------------
     # Interleaved decompositions spread each rank's bytes roughly evenly
@@ -225,22 +441,7 @@ def _two_phase(world, mfile: MPIFile, op: str, reqs: dict[int, IORequest]):
     yield env.timeout(pack)
 
     # --- I/O phase ------------------------------------------------------------
-    # File domains cover only the bytes actually requested (ROMIO
-    # computes the union of the requests): a segmented pattern with
-    # holes does not write the holes.  Domains are spread over the span
-    # so aggregators hit disjoint file regions.
-    covered = min(total, span)
-    domain_stride = span // nagg
-    domain = covered // nagg
-    io_evs = []
-    for i, a in enumerate(aggs):
-        off = lo + i * domain_stride
-        length = domain if i < nagg - 1 else covered - domain * (nagg - 1)
-        if length <= 0:
-            continue
-        actx = world.ranks[a]
-        afs = actx.node.vfs.resolve(mfile.path)
-        io_evs.append(afs.submit_direct(mfile.inode, IORequest(op, off, length)))
+    io_evs = [afs.submit_direct(mfile.inode, dreq) for afs, dreq in domains]
     if io_evs:
         yield env.all_of(io_evs)
 

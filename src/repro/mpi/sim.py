@@ -69,6 +69,10 @@ class Rendezvous:
             del self._points[key]
         return point, last
 
+    def count(self, kind: str, rank: int) -> int:
+        """How many ``kind`` call sites ``rank`` has reached so far."""
+        return self._counters.get((kind, rank), 0)
+
 
 class RankContext:
     """The MPI API handed to a rank's program generator."""
@@ -79,6 +83,11 @@ class RankContext:
         self.node = node
         self.env = world.env
         self._mailboxes: dict[tuple[int, int], Store] = {}
+        #: barriers issued by this rank's program so far — the phase
+        #: epoch of the replay accelerator.  MADbench2's S-writes and
+        #: W-writes share a naive signature but sit in different
+        #: barrier-delimited program phases; the epoch keeps them apart.
+        self.phase_epoch = 0
 
     # ------------------------------------------------------------------
     @property
@@ -102,6 +111,43 @@ class RankContext:
         """Busy-work: occupy simulated time (and implicitly one core)."""
         t = seconds + (self.node.compute_time(flops) if flops else 0.0)
         return self.env.timeout(t)
+
+    # -- phase replay -------------------------------------------------------
+    def replay_region(self, key: tuple, body) -> Generator:
+        """Run ``body`` (a generator) as a repetitive *region* of the
+        program — e.g. one time step's boundary exchanges — letting the
+        phase-replay accelerator extrapolate it once verified steady.
+
+        Regions follow the same warm-up/verify/extrapolate state
+        machine as I/O phases, with a group spanning all ranks: the
+        per-round frozen group verdict guarantees either *every* rank
+        simulates a given occurrence or every rank skips it, which is
+        what makes this safe for rendezvous bodies (a skipping rank
+        never sends, so a simulating peer would deadlock on the
+        matching receive).  Requirements: the region must be SPMD —
+        every rank executes it the same number of times with the same
+        ``key`` — and must not contain I/O (I/O phases have their own
+        keys and contend through a different scope).
+
+        Use as ``yield from mpi.replay_region(("exchange",), body)``.
+        """
+        rep = self.world.replay
+        epoch = self.phase_epoch
+        k = ("region", self.rank, epoch) + tuple(key)
+        grp = ("region", epoch) + tuple(key)
+        # message traffic contends on the communication fabric; when
+        # the cluster shares one fabric for messages and file data the
+        # regions join the I/O phases' scope
+        kind = "shared" if self.world.cluster.shared_network else "comm"
+        scope = (kind, epoch)
+        steady = rep.steady(k, grp, scope)
+        if steady is not None:
+            if steady > 0.0:
+                yield self.env.timeout(steady)
+            return
+        t0 = self.env.now
+        yield from body
+        rep.observe(k, self.env.now - t0, grp, scope)
 
     # -- point-to-point -------------------------------------------------------
     def isend(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None) -> Event:
@@ -136,6 +182,7 @@ class RankContext:
     def barrier(self) -> Event:
         from .collectives import barrier
 
+        self.phase_epoch += 1
         return self._collective("barrier", None, barrier)
 
     def bcast(self, root: int, nbytes: int, payload: Any = None) -> Event:
@@ -215,16 +262,21 @@ class MPIWorld:
         placement: str = "block",
         tracer=None,
         io_hints: Optional[dict[str, Any]] = None,
+        replay_settings=None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if cluster.comm_network is None:
             raise ValueError("cluster has no networks attached")
+        from ..core.replay import PhaseReplayAccelerator
+
         self.env = env
         self.cluster = cluster
         self.nprocs = nprocs
         self.tracer = tracer
         self.io_hints = dict(io_hints or {})
+        #: per-run phase-replay accelerator (one world = one app run)
+        self.replay = PhaseReplayAccelerator(replay_settings)
         nodes = cluster.compute_nodes()
         if not nodes:
             raise ValueError("cluster has no compute nodes")

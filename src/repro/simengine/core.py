@@ -439,3 +439,16 @@ class Environment:
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
+
+    def reset(self, initial_time: float = 0.0) -> None:
+        """Return the environment to a fresh state for warm reuse.
+
+        Drops every pending calendar entry and rewinds the clock.  Any
+        still-alive processes are simply abandoned (their generators are
+        collected); callers are responsible for resetting the mutable
+        state of components built on this environment.
+        """
+        self._now = float(initial_time)
+        self._queue.clear()
+        self._seq = 0
+        self._active_process = None

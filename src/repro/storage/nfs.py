@@ -105,9 +105,15 @@ class NFSServer:
             if ev is not None:
                 result = yield ev
         finally:
-            self.threads.release(req)
+            if req in self.threads.users:
+                self.threads.release(req)
         self.stats.rpcs += rpc_count
         return result
+
+    def reset(self) -> None:
+        """Forget thread-pool and statistics state (warm reuse)."""
+        self.threads.reset()
+        self.stats = NFSStats()
 
 
 class NFSMount:
@@ -190,6 +196,37 @@ class NFSMount:
           results.
         """
         return self.env.process(self._direct(inode, req), name=f"{self.name}.direct")
+
+    def absorb(self, inode: Inode, req: IORequest) -> int:
+        """Apply a direct request's state side effects analytically.
+
+        The MPI-IO path is uncached on the client, so the state that
+        matters lives server-side: delegate to the export's
+        :meth:`~repro.storage.localfs.LocalFS.absorb` (file growth,
+        allocation, server cache residency) and account the wire bytes.
+        Advances no simulated time.
+        """
+        total = self.server.export.absorb(inode, req)
+        if req.op == "write":
+            self.stats.bytes_sent += total
+        else:
+            self.stats.bytes_received += total
+        return total
+
+    def state_token(self, inode: Inode, req: IORequest) -> tuple:
+        """Cache-regime fingerprint for the replay phase key.
+
+        The MPI-IO direct path bypasses the client cache, so the state
+        that governs a request's service time is the server export's
+        — delegate to it (see
+        :meth:`~repro.storage.localfs.LocalFS.state_token`).
+        """
+        return self.server.export.state_token(inode, req)
+
+    def reset(self) -> None:
+        """Drop client-cache and statistics state (warm reuse)."""
+        self.cache.reset()
+        self.stats = NFSStats()
 
     def _direct(self, inode: Inode, req: IORequest):
         spec = self.spec
