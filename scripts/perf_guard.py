@@ -34,6 +34,13 @@ GUARDED_KEYS = {
     "evaluate": ("evaluate_full",),
 }
 
+#: benchmark name -> (base timing, instrumented timing) pairs checked
+#: *within* the fresh run: instrumented / base must stay under the
+#: overhead factor (metrics collection must stay nearly free)
+OVERHEAD_KEYS = {
+    "evaluate": (("evaluate_full", "evaluate_full_metrics"),),
+}
+
 
 def load(path: str) -> dict:
     return json.loads(Path(path).read_text())
@@ -75,6 +82,36 @@ def check(baseline_path: str, fresh_path: str, factor: float) -> list[str]:
     return problems
 
 
+def check_overhead(fresh_path: str, factor: float) -> list[str]:
+    """Bound instrumentation overhead inside one fresh benchmark run.
+
+    Both timings come from the same run on the same machine, so the
+    factor can be tight (default 1.05: metrics collection may add at
+    most 5% to the full-evaluation baseline; override with
+    ``REPRO_METRICS_OVERHEAD_FACTOR``).
+    """
+    fresh = load(fresh_path)
+    problems = []
+    for base_key, inst_key in OVERHEAD_KEYS.get(fresh.get("benchmark", ""), ()):
+        base = fresh.get("timings_s", {}).get(base_key)
+        inst = fresh.get("timings_s", {}).get(inst_key)
+        if base is None or inst is None:
+            print(f"perf-guard: {inst_key}: missing in fresh run — skipping")
+            continue
+        ratio = inst / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > factor else "ok"
+        print(
+            f"perf-guard: {inst_key}: {inst:.3f}s vs {base_key} {base:.3f}s "
+            f"(x{ratio:.3f}, limit x{factor:.2f}) {verdict}"
+        )
+        if ratio > factor:
+            problems.append(
+                f"{inst_key}: metrics collection costs {ratio:.3f}x the "
+                f"uninstrumented {base_key} (limit {factor:.2f}x)"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -89,12 +126,21 @@ def main(argv: list[str] | None = None) -> int:
         default=float(os.environ.get("REPRO_PERF_GUARD_FACTOR", "1.25")),
         help="max allowed fresh/baseline timing ratio (default 1.25)",
     )
+    parser.add_argument(
+        "--overhead-factor",
+        type=float,
+        default=float(os.environ.get("REPRO_METRICS_OVERHEAD_FACTOR", "1.05")),
+        help="max allowed instrumented/uninstrumented ratio within a "
+             "fresh run (default 1.05, i.e. 5%% metrics overhead)",
+    )
     args = parser.parse_args(argv)
     if len(args.baseline) != len(args.fresh):
         parser.error("--baseline and --fresh must be paired")
     problems: list[str] = []
     for base, fresh in zip(args.baseline, args.fresh):
         problems += check(base, fresh, args.factor)
+    for fresh in args.fresh:
+        problems += check_overhead(fresh, args.overhead_factor)
     if problems:
         print("perf-guard: REGRESSION DETECTED", file=sys.stderr)
         for p in problems:

@@ -8,6 +8,9 @@ Subcommands mirror the methodology's phases:
   print the run metrics and used-percentage tables.
 * ``predict`` — phase-1-only configuration selection: predict the
   workload's I/O time on every configuration from the tables alone.
+* ``report`` — instrumented evaluation: per-level counters, windowed
+  utilization with bottleneck attribution, phase-replay stats;
+  exports JSON/CSV reports and JSONL/Chrome-format traces.
 * ``perf`` — benchmark the methodology itself: serial vs parallel vs
   cached characterization timings, written as machine-readable JSON.
 * ``list`` — show the available cluster configurations and workloads.
@@ -116,6 +119,51 @@ def cmd_evaluate(args) -> int:
     print(format_run_metrics(reports))
     for op in ("write", "read"):
         print(format_used_matrix(reports, op))
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Instrumented phase 3: run metrics, counters, utilization, traces."""
+    import json
+
+    from .obs.runreport import build_run_report, render_run_report, report_to_csv
+
+    m = _methodology(args)
+    print("characterizing ...", file=sys.stderr)
+    _characterize(m, args)
+    app = _app(args)
+    print(f"evaluating {app.name} (instrumented) ...", file=sys.stderr)
+    reports = m.evaluate(
+        app,
+        n_jobs=args.jobs,
+        instrument=True,
+        keep_events=bool(args.trace_out),
+        window_s=args.window,
+    )
+    print(render_run_report(reports))
+    report = build_run_report(
+        app.name,
+        reports,
+        meta={"configs": sorted(m.configs), "phase_fastpath": not args.no_phase_fastpath},
+    )
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"  -> wrote {args.json}", file=sys.stderr)
+    if args.csv:
+        Path(args.csv).write_text(report_to_csv(report))
+        print(f"  -> wrote {args.csv}", file=sys.stderr)
+    if args.trace_out:
+        from .obs.export import write_chrome_trace, write_events_jsonl
+
+        runs = {
+            name: {"events": r.events or [], "replay": r.replay_phases}
+            for name, r in reports.items()
+        }
+        if args.trace_format == "chrome":
+            write_chrome_trace(args.trace_out, runs, app=app.name)
+        else:
+            write_events_jsonl(args.trace_out, runs, meta={"app": app.name})
+        print(f"  -> wrote {args.trace_out} ({args.trace_format})", file=sys.stderr)
     return 0
 
 
@@ -261,11 +309,18 @@ def cmd_perf(args) -> int:
         }
 
     per_app = {}
-    totals = {"full": 0.0, "fastpath": 0.0, "warm_start": 0.0}
+    totals = {"full": 0.0, "fastpath": 0.0, "warm_start": 0.0, "full_metrics": 0.0}
     eval_identical = True
     for app_name, eapp in eval_apps.items():
         full_s, full_r = timed(
             lambda: m_serial.evaluate(eapp, n_jobs=1, phase_fastpath=False)
+        )
+        # same run with metrics collection on: its cost over full_s is
+        # the observability overhead scripts/perf_guard.py bounds
+        inst_s, _ = timed(
+            lambda: m_serial.evaluate(
+                eapp, n_jobs=1, phase_fastpath=False, instrument=True
+            )
         )
         fast_s, fast_r = timed(
             lambda: m_serial.evaluate(eapp, n_jobs=1, phase_fastpath=True)
@@ -284,8 +339,10 @@ def cmd_perf(args) -> int:
         totals["full"] += full_s
         totals["fastpath"] += fast_s
         totals["warm_start"] += warm_s
+        totals["full_metrics"] += inst_s
         per_app[app_name] = {
             "full_s": round(full_s, 4),
+            "full_metrics_s": round(inst_s, 4),
             "fastpath_s": round(fast_s, 4),
             "warm_start_s": round(warm_s, 4),
             "speedup_fastpath": round(full_s / fast_s, 3) if fast_s > 0 else None,
@@ -308,6 +365,7 @@ def cmd_perf(args) -> int:
         },
         "timings_s": {
             "evaluate_full": round(totals["full"], 4),
+            "evaluate_full_metrics": round(totals["full_metrics"], 4),
             "evaluate_fastpath": round(totals["fastpath"], 4),
             "evaluate_warm_start": round(totals["warm_start"], 4),
         },
@@ -317,6 +375,8 @@ def cmd_perf(args) -> int:
             "warm_start": round(totals["full"] / totals["warm_start"], 3)
             if totals["warm_start"] > 0 else None,
         },
+        "metrics_overhead": round(totals["full_metrics"] / totals["full"], 4)
+        if totals["full"] > 0 else None,
         "per_app": per_app,
         "tables_identical": eval_identical,
     }
@@ -381,6 +441,25 @@ def build_parser() -> argparse.ArgumentParser:
     common(pr)
     workload(pr)
     pr.set_defaults(func=cmd_predict)
+
+    rp = sub.add_parser(
+        "report",
+        help="instrumented evaluation: per-level counters, windowed "
+             "utilization, phase-replay stats, trace export",
+    )
+    common(rp)
+    workload(rp)
+    rp.add_argument("--json", metavar="FILE", help="write the run report as JSON")
+    rp.add_argument("--csv", metavar="FILE", help="write the run report as flat CSV")
+    rp.add_argument("--trace-out", metavar="FILE",
+                    help="write the MPI-IO event trace to FILE")
+    rp.add_argument("--trace-format", choices=["chrome", "jsonl"], default="chrome",
+                    help="trace file format (default: chrome, for "
+                         "chrome://tracing / Perfetto)")
+    rp.add_argument("--window", type=float, default=None,
+                    help="utilization sampling window in simulated seconds "
+                         "(default: 0.05, width doubles on long runs)")
+    rp.set_defaults(func=cmd_report)
 
     pf = sub.add_parser("perf", help="benchmark the methodology pipeline itself")
     common(pf)

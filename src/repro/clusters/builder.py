@@ -133,6 +133,20 @@ class System:
         self.replay_settings = None
         #: accelerator of the most recent world (its stats outlive the run)
         self.last_replay = None
+        #: MPI-IO layer counters of the most recent world
+        self.last_iostats = None
+        #: busy-counter baseline for interval utilization queries —
+        #: re-captured on every :meth:`reset`, so a warm-started
+        #: system reports per-run utilization, not lifetime totals
+        self.counters_baseline = None
+        self.rebaseline()
+
+    def rebaseline(self) -> None:
+        """Capture the current busy counters as the utilization
+        baseline (see :func:`repro.core.utilization.capture_utilization`)."""
+        from ..core.utilization import capture_utilization
+
+        self.counters_baseline = capture_utilization(self)
 
     # -- convenience -----------------------------------------------------
     def world(self, nprocs: int, placement: str = "block", tracer=None, io_hints=None):
@@ -144,6 +158,7 @@ class System:
             io_hints=io_hints, replay_settings=self.replay_settings,
         )
         self.last_replay = w.replay
+        self.last_iostats = w.iostats
         return w
 
     def reset(self) -> None:
@@ -170,6 +185,8 @@ class System:
         if not self.cluster.shared_network:
             self.cluster.data_network.reset()
         self.last_replay = None
+        self.last_iostats = None
+        self.rebaseline()
 
     def node(self, name: str) -> Node:
         return self.cluster.node(name)

@@ -33,7 +33,14 @@ from .prediction import (
     rank_predicted,
 )
 from .perftable import PerformanceTable, PerfRow
-from .utilization import ResourceUsage, snapshot_utilization, UtilizationReport
+from .utilization import (
+    ResourceUsage,
+    UtilizationReport,
+    UtilizationSnapshot,
+    UtilizationWindow,
+    capture_utilization,
+    snapshot_utilization,
+)
 from .report import (
     format_characterization,
     format_perf_table,
@@ -82,5 +89,8 @@ __all__ = [
     "format_used_table",
     "ResourceUsage",
     "snapshot_utilization",
+    "capture_utilization",
     "UtilizationReport",
+    "UtilizationSnapshot",
+    "UtilizationWindow",
 ]

@@ -172,6 +172,19 @@ class EvaluationReport:
     #: phase-replay accelerator statistics of the run (ReplayStats),
     #: when the application surfaced them; ``None`` otherwise
     replay: object = None
+    #: wall-clock seconds the run took inside its worker
+    wall_s: Optional[float] = None
+    #: instrumented runs only (``Methodology.evaluate(instrument=True)``):
+    #: per-level counters {"counters": ..., "histograms": ...}
+    metrics: Optional[dict] = None
+    #: instrumented runs only: busy fractions over the measured run,
+    #: with sampled windows (core.utilization.UtilizationReport)
+    utilization: object = None
+    #: instrumented runs only: phase-replay observability dict
+    #: (PhaseReplayAccelerator.observability())
+    replay_phases: Optional[dict] = None
+    #: the run's IOEvent stream, when the caller asked to keep it
+    events: Optional[list] = None
 
     @property
     def io_fraction(self) -> float:

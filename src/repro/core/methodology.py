@@ -62,7 +62,10 @@ def _characterize_unit(task) -> PerformanceTable:
 
 def _evaluate_unit(task) -> EvaluationReport:
     """Worker: run the application on one configuration."""
-    name, config, app, access, tables, phase_fastpath, warm_start = task
+    import time as _time
+
+    (name, config, app, access, tables, phase_fastpath, warm_start,
+     instrument, keep_events, window_s) = task
     from dataclasses import replace as _replace
     from ..clusters.builder import warm_system
     from .replay import ReplaySettings
@@ -76,7 +79,17 @@ def _evaluate_unit(task) -> EvaluationReport:
     if phase_fastpath is not None:
         settings = _replace(settings, enabled=bool(phase_fastpath))
     system.replay_settings = settings
+    registry = None
+    if instrument:
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(system)
+        registry.begin_run(window_s=window_s)
+    wall0 = _time.perf_counter()
     run = app.run(system)
+    wall_s = _time.perf_counter() - wall0
+    if registry is not None:
+        registry.end_run()
     profile = characterize_app(run.tracer, access=access)
     used = generate_used_percentage(name, profile, tables)
     replay = system.last_replay.stats if system.last_replay is not None else None
@@ -89,6 +102,19 @@ def _evaluate_unit(task) -> EvaluationReport:
         used=used,
         profile=profile,
         replay=replay,
+        wall_s=wall_s,
+        metrics=(
+            {"counters": registry.deltas(), "histograms": registry.histograms()}
+            if registry is not None
+            else None
+        ),
+        utilization=registry.utilization_report() if registry is not None else None,
+        replay_phases=(
+            system.last_replay.observability()
+            if instrument and system.last_replay is not None
+            else None
+        ),
+        events=list(run.tracer.events) if keep_events else None,
     )
 
 
@@ -230,6 +256,9 @@ class Methodology:
         n_jobs: Optional[int] = None,
         phase_fastpath: Optional[bool] = None,
         warm_start: bool = False,
+        instrument: bool = False,
+        keep_events: bool = False,
+        window_s: Optional[float] = None,
     ) -> dict[str, EvaluationReport]:
         """Run the application on each configuration and compare against
         the characterized tables (phase 1 must have run).
@@ -244,6 +273,14 @@ class Methodology:
         built system per configuration within each worker process
         (reset between runs) instead of rebuilding the topology — the
         results are identical either way.
+
+        ``instrument=True`` attaches a
+        :class:`~repro.obs.metrics.MetricsRegistry` to each run:
+        reports come back with per-level counter deltas, a windowed
+        utilization report (sampled every ``window_s`` simulated
+        seconds) and phase-replay observability.  ``keep_events=True``
+        additionally carries the raw IOEvent stream back for trace
+        export.
         """
         names = list(names or self.configs)
         for name in names:
@@ -251,7 +288,7 @@ class Methodology:
                 raise RuntimeError(f"configuration {name!r} not characterized yet")
         tasks = [
             (name, self.configs[name], app, access, self.tables[name],
-             phase_fastpath, warm_start)
+             phase_fastpath, warm_start, instrument, keep_events, window_s)
             for name in names
         ]
         results = run_tasks(_evaluate_unit, tasks, n_jobs)

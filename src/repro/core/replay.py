@@ -108,6 +108,11 @@ class ReplayStats:
     extrapolated: int = 0  # occurrences closed analytically
     fallback_phases: int = 0  # phases that never went steady
     phases: int = 0  # distinct phase keys seen
+    #: simulated seconds spent inside fully simulated occurrences
+    simulated_sim_s: float = 0.0
+    #: simulated seconds charged analytically for extrapolated ones —
+    #: the time the DES did *not* have to step through event by event
+    extrapolated_sim_s: float = 0.0
 
     @property
     def total(self) -> int:
@@ -117,6 +122,19 @@ class ReplayStats:
     def extrapolated_fraction(self) -> float:
         return self.extrapolated / self.total if self.total else 0.0
 
+    def estimated_saved_wall_s(self, wall_s: float) -> float:
+        """Estimated wall-clock seconds extrapolation saved a run that
+        took ``wall_s`` to execute.
+
+        Scales the run's measured cost per *simulated* second of
+        fully simulated phase time onto the extrapolated phase time —
+        an estimate (extrapolated occurrences still pay bookkeeping,
+        and non-phase time is attributed pro rata), not a measurement.
+        """
+        if wall_s <= 0 or self.simulated_sim_s <= 0 or self.extrapolated_sim_s <= 0:
+            return 0.0
+        return wall_s * self.extrapolated_sim_s / self.simulated_sim_s
+
     def as_dict(self) -> dict:
         return {
             "phases": self.phases,
@@ -124,6 +142,8 @@ class ReplayStats:
             "extrapolated": self.extrapolated,
             "fallback_phases": self.fallback_phases,
             "extrapolated_fraction": round(self.extrapolated_fraction, 4),
+            "simulated_sim_s": round(self.simulated_sim_s, 6),
+            "extrapolated_sim_s": round(self.extrapolated_sim_s, 6),
         }
 
 
@@ -249,6 +269,7 @@ class PhaseReplayAccelerator:
             st.since_check += 1
             st.occ += 1
             self.stats.extrapolated += 1
+            self.stats.extrapolated_sim_s += st.steady
             return st.steady
         g = self._groups.get(group)
         if g is None:
@@ -272,6 +293,7 @@ class PhaseReplayAccelerator:
             return None
         st.occ += 1
         self.stats.extrapolated += 1
+        self.stats.extrapolated_sim_s += val
         return val
 
     def _decide(self, g: _GroupState, scope: Optional[tuple]) -> bool:
@@ -316,6 +338,7 @@ class PhaseReplayAccelerator:
             st = self._phases[key] = _PhaseState()
             self.stats.phases += 1
         self.stats.simulated += 1
+        self.stats.simulated_sim_s += duration
         st.prev, st.last = st.last, duration
         st.seen += 1
         st.occ += 1
@@ -380,11 +403,38 @@ class PhaseReplayAccelerator:
                 {
                     "key": key,
                     "simulated": st.seen,
+                    "extrapolated": st.occ - st.seen,
                     "steady_s": st.steady,
                     "fallback": st.disabled,
                 }
             )
         return out
+
+    def observability(self) -> dict:
+        """The replay section of a run report: aggregate stats, the
+        verification tolerance in force, and a JSON-safe per-phase
+        breakdown of fully replayed vs extrapolated occurrences."""
+        detail = [
+            {
+                "key": repr(p["key"]),
+                "simulated": p["simulated"],
+                "extrapolated": p["extrapolated"],
+                "steady_s": p["steady_s"],
+                "fallback": p["fallback"],
+            }
+            for p in self.phase_report()
+        ]
+        return {
+            **self.stats.as_dict(),
+            "enabled": self.settings.enabled,
+            "rel_tol": self.settings.rel_tol,
+            "exact": self.settings.exact,
+            "phases_fully_simulated": sum(
+                1 for p in detail if p["extrapolated"] == 0
+            ),
+            "phases_extrapolated": sum(1 for p in detail if p["extrapolated"] > 0),
+            "phase_detail": detail,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         s = self.stats

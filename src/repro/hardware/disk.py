@@ -95,6 +95,11 @@ class Disk:
         self._head_pos = 0  # byte offset after the last op
         self._ra_start = -1  # readahead window [start, end)
         self._ra_end = -1
+        # measurement origin for :attr:`utilization` — set by
+        # mark_measurement() at run start so the busy fraction covers
+        # the measured run, not setup time before it
+        self._mark_t = 0.0
+        self._mark_busy = 0.0
 
     # -- cost model ------------------------------------------------------
     #: forward gaps up to this size are crossed by letting the platter
@@ -223,10 +228,28 @@ class Disk:
                 self.head.release(reqs[0])
         return total_bytes
 
+    def mark_measurement(self) -> None:
+        """Start the utilization measurement interval *now*.
+
+        Time and busy seconds accumulated before the mark (system
+        setup, characterization sweeps, a previous run on a warm
+        system) no longer dilute or inflate :attr:`utilization`.
+        """
+        self._mark_t = self.env.now
+        self._mark_busy = self.stats.busy_s
+
     @property
     def utilization(self) -> float:
-        """Fraction of elapsed simulated time the head was busy."""
-        return self.stats.busy_s / self.env.now if self.env.now > 0 else 0.0
+        """Busy fraction of the head over the measured interval.
+
+        Measured from the last :meth:`mark_measurement` (build time
+        when never marked) to now, counting only busy seconds accrued
+        within that interval.
+        """
+        elapsed = self.env.now - self._mark_t
+        if elapsed <= 0:
+            return 0.0
+        return (self.stats.busy_s - self._mark_busy) / elapsed
 
     def reset(self) -> None:
         """Park the head and zero all state (warm reuse)."""
@@ -235,3 +258,5 @@ class Disk:
         self._head_pos = 0
         self._ra_start = -1
         self._ra_end = -1
+        self._mark_t = 0.0
+        self._mark_busy = 0.0

@@ -57,6 +57,10 @@ class Link:
         self.bytes_carried = 0
         self.messages = 0
         self.busy_s = 0.0
+        # measurement origin for :attr:`utilization` (see
+        # mark_measurement): excludes pre-run setup time
+        self._mark_t = 0.0
+        self._mark_busy = 0.0
 
     def hold_time(self, nbytes: int, count: int = 1) -> float:
         """Serialisation time for ``count`` back-to-back messages."""
@@ -94,9 +98,19 @@ class Link:
         yield self.env.timeout(self.spec.latency_s)
         return nbytes * count
 
+    def mark_measurement(self) -> None:
+        """Start the utilization measurement interval *now*."""
+        self._mark_t = self.env.now
+        self._mark_busy = self.busy_s
+
     @property
     def utilization(self) -> float:
-        return self.busy_s / self.env.now if self.env.now > 0 else 0.0
+        """Busy fraction over the measured interval (since the last
+        :meth:`mark_measurement`; build time when never marked)."""
+        elapsed = self.env.now - self._mark_t
+        if elapsed <= 0:
+            return 0.0
+        return (self.busy_s - self._mark_busy) / elapsed
 
     def reset(self) -> None:
         """Clear channel occupancy and traffic counters (warm reuse)."""
@@ -104,6 +118,8 @@ class Link:
         self.bytes_carried = 0
         self.messages = 0
         self.busy_s = 0.0
+        self._mark_t = 0.0
+        self._mark_busy = 0.0
 
 
 class Network:

@@ -316,6 +316,10 @@ class MPIFile:
     def _trace(
         self, req: IORequest, t0: float, collective: bool, t_end: Optional[float] = None
     ) -> None:
+        end = self.env.now if t_end is None else t_end
+        self.ctx.world.iostats.record(
+            req.op, req.nbytes, req.count, collective, end - t0
+        )
         if self.ctx.world.tracer is not None:
             from ..tracing.events import IOEvent
 
@@ -328,7 +332,7 @@ class MPIFile:
                     count=req.count,
                     stride=req.stride,
                     t_start=t0,
-                    t_end=self.env.now if t_end is None else t_end,
+                    t_end=end,
                     path=self.path,
                     collective=collective,
                 )

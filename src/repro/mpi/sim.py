@@ -269,6 +269,7 @@ class MPIWorld:
         if cluster.comm_network is None:
             raise ValueError("cluster has no networks attached")
         from ..core.replay import PhaseReplayAccelerator
+        from ..obs.metrics import IOLibStats
 
         self.env = env
         self.cluster = cluster
@@ -277,6 +278,8 @@ class MPIWorld:
         self.io_hints = dict(io_hints or {})
         #: per-run phase-replay accelerator (one world = one app run)
         self.replay = PhaseReplayAccelerator(replay_settings)
+        #: per-run MPI-IO level counters (the iolib metrics level)
+        self.iostats = IOLibStats()
         nodes = cluster.compute_nodes()
         if not nodes:
             raise ValueError("cluster has no compute nodes")

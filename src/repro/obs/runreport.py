@@ -1,0 +1,184 @@
+"""The ``repro report`` document: one JSON/CSV-exportable dict per run.
+
+Assembles what the instrumented evaluation produced — per-level
+counters, windowed utilization, phase-replay observability, and the
+bottleneck verdicts of the used-percentage analysis — into a single
+schema-stable document.
+
+The ``verdicts`` section carries only the used-percentage bottleneck
+levels (paper §III-C2); it is the part guaranteed byte-identical
+between phase-fastpath and full-replay runs.  Physical counters
+legitimately differ under the fastpath: extrapolated phase
+occurrences charge time without touching disks or links, so busy
+counters only cover the simulated occurrences.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "build_run_report",
+    "report_to_csv",
+    "render_run_report",
+]
+
+REPORT_SCHEMA = "repro.run-report/1"
+
+
+def _utilization_dict(u) -> dict:
+    """JSON form of a core.utilization.UtilizationReport."""
+    return {
+        "interval_s": u.interval_s,
+        "resources": [
+            {
+                "name": r.name,
+                "kind": r.kind,
+                "busy_s": r.busy_s,
+                "utilization": r.utilization,
+            }
+            for r in u.resources
+        ],
+        "windows": [
+            {
+                "t0_s": w.t0_s,
+                "t1_s": w.t1_s,
+                "bottleneck": w.bottleneck(),
+                "top": [[name, util] for name, util in w.hottest(n=3)],
+            }
+            for w in u.windows
+        ],
+    }
+
+
+def build_run_report(app_name: str, reports: dict, meta: Optional[dict] = None) -> dict:
+    """Build the report document from ``Methodology.evaluate`` output.
+
+    ``reports`` maps configuration name to an (ideally instrumented)
+    :class:`~repro.core.evaluation.EvaluationReport`; uninstrumented
+    reports still contribute their run metrics and verdicts.
+    """
+    configs = {}
+    verdicts = {}
+    for name, r in reports.items():
+        verdict = {"write": r.write_bottleneck(), "read": r.read_bottleneck()}
+        verdicts[name] = verdict
+        entry = {
+            "run": {
+                "execution_time_s": r.execution_time_s,
+                "io_time_s": r.io_time_s,
+                "io_fraction": r.io_fraction,
+                "bytes_read": r.bytes_read,
+                "bytes_written": r.bytes_written,
+                "throughput_Bps": r.throughput_Bps,
+                "wall_s": r.wall_s,
+            },
+            "verdicts": verdict,
+        }
+        if r.metrics is not None:
+            entry["counters"] = r.metrics["counters"]
+            entry["histograms"] = r.metrics["histograms"]
+        if r.utilization is not None:
+            entry["utilization"] = _utilization_dict(r.utilization)
+        if r.replay_phases is not None:
+            replay = dict(r.replay_phases)
+            if r.replay is not None and r.wall_s is not None:
+                replay["estimated_saved_wall_s"] = round(
+                    r.replay.estimated_saved_wall_s(r.wall_s), 4
+                )
+            entry["replay"] = replay
+        configs[name] = entry
+    doc = {
+        "schema": REPORT_SCHEMA,
+        "app": app_name,
+        "configs": configs,
+        "verdicts": verdicts,
+    }
+    if meta:
+        doc["meta"] = meta
+    return doc
+
+
+def _flatten(prefix: str, value, rows: list) -> None:
+    if isinstance(value, dict):
+        for k, v in value.items():
+            _flatten(f"{prefix}.{k}" if prefix else str(k), v, rows)
+    elif isinstance(value, (list, tuple)):
+        for i, v in enumerate(value):
+            _flatten(f"{prefix}[{i}]", v, rows)
+    else:
+        rows.append((prefix, value))
+
+
+def report_to_csv(report: dict) -> str:
+    """Flatten the report into ``config,key,value`` CSV rows."""
+    lines = ["config,key,value"]
+    for config, entry in report.get("configs", {}).items():
+        rows: list = []
+        _flatten("", entry, rows)
+        for key, value in rows:
+            v = "" if value is None else json.dumps(value) if isinstance(value, str) else value
+            lines.append(f"{config},{key},{v}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024.0
+    return f"{n:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def render_run_report(reports: dict) -> str:
+    """Human-readable summary printed by ``repro report``.
+
+    Takes the raw ``Methodology.evaluate`` output (EvaluationReport
+    objects), so it can reuse the utilization renderers.
+    """
+    lines = []
+    for name, r in reports.items():
+        lines.append(f"=== {name} ===")
+        lines.append(
+            f"run: exec {r.execution_time_s:.2f}s  io {r.io_time_s:.2f}s "
+            f"({r.io_fraction * 100:.0f}%)  wrote {_fmt_bytes(r.bytes_written)} "
+            f"read {_fmt_bytes(r.bytes_read)}"
+        )
+        lines.append(
+            f"verdicts: write-bottleneck={r.write_bottleneck()} "
+            f"read-bottleneck={r.read_bottleneck()}"
+        )
+        if r.metrics is not None:
+            lines.append("per-level counters:")
+            for level, counters in r.metrics["counters"].items():
+                if not counters:
+                    continue
+                body = "  ".join(
+                    f"{k}={v:.4f}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in sorted(counters.items())
+                )
+                lines.append(f"  {level:<9}{body}")
+        if r.utilization is not None:
+            lines.append(r.utilization.render(top=5))
+            if r.utilization.windows:
+                lines.append(r.utilization.render_windows())
+        if r.replay_phases is not None:
+            rp = r.replay_phases
+            saved = (
+                r.replay.estimated_saved_wall_s(r.wall_s)
+                if r.replay is not None and r.wall_s is not None
+                else 0.0
+            )
+            lines.append(
+                f"phase replay: {rp['phases']} phases, "
+                f"{rp['simulated']} simulated + {rp['extrapolated']} extrapolated "
+                f"occurrences ({rp['extrapolated_fraction'] * 100:.0f}% extrapolated), "
+                f"{rp['fallback_phases']} fallback; "
+                f"fully-replayed phases {rp['phases_fully_simulated']}, "
+                f"extrapolated phases {rp['phases_extrapolated']}; "
+                f"tol {rp['rel_tol']}; est. saved {saved:.2f}s wall"
+            )
+        lines.append("")
+    return "\n".join(lines)

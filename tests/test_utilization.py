@@ -3,7 +3,9 @@
 import pytest
 
 from repro.simengine import Environment
-from repro.core.utilization import snapshot_utilization
+from repro.core.utilization import capture_utilization, snapshot_utilization
+from repro.hardware.disk import Disk
+from repro.hardware.network import GIGABIT, Network
 from repro.storage.base import IORequest, MiB
 from repro.clusters.builder import build_system
 from repro.workloads.btio import BTIOConfig, run_btio
@@ -59,6 +61,99 @@ def test_since_interval(system):
     rep_tail = snapshot_utilization(system, since_s=9.0)
     assert rep_tail.interval_s == pytest.approx(1.0)
     assert rep_all.interval_s == pytest.approx(10.0)
+
+
+def _busy_writes(system, count=64):
+    fs = system.export
+    inode = system.env.run(fs.create("/load"))
+    system.env.run(fs.submit(inode, IORequest("write", 0, 1 * MiB, count=count)))
+    system.env.run(fs.sync())
+
+
+def test_busy_prelude_not_overreported():
+    """Regression: cumulative busy seconds divided by a truncated
+    interval used to report a saturated (clamped ~100%) disk for an
+    interval the system spent entirely idle.  A baseline snapshot at
+    the interval start diffs that prelude away."""
+    system = build_system(Environment(), small_config())
+    env = system.env
+    _busy_writes(system)
+    t1 = env.now
+    baseline = capture_utilization(system)
+    env.run(env.timeout(9 * t1))  # long idle tail
+
+    tail = snapshot_utilization(system, baseline=baseline)
+    assert tail.interval_s == pytest.approx(9 * t1)
+    assert all(r.utilization == 0.0 for r in tail.resources)
+    assert all(r.busy_s == 0.0 for r in tail.resources)
+    # the full-run view still sees the prelude's busy time
+    full = snapshot_utilization(system)
+    assert full.hottest(kind="disk", n=1)[0].busy_s > 0
+
+
+def test_rebaseline_gives_per_run_view():
+    """System.rebaseline() resets the default diffing origin, so a
+    reused (not rebuilt) system reports per-run utilization."""
+    system = build_system(Environment(), small_config())
+    env = system.env
+    _busy_writes(system)
+    system.rebaseline()
+    t1 = env.now
+    env.run(env.timeout(5.0))
+    rep = snapshot_utilization(system)
+    assert rep.interval_s == pytest.approx(env.now - t1)
+    assert all(r.utilization == 0.0 for r in rep.resources)
+
+
+def test_warm_reset_clears_baseline_and_counters():
+    system = build_system(Environment(), small_config())
+    _busy_writes(system)
+    system.reset()
+    assert system.counters_baseline.t_s == 0.0
+    assert all(b == 0.0 for _k, b in system.counters_baseline.busy.values())
+    system.env.run(system.env.timeout(1.0))
+    rep = snapshot_utilization(system)
+    assert all(r.utilization == 0.0 for r in rep.resources)
+
+
+def test_disk_utilization_uses_measured_interval(env):
+    """Regression: Disk.utilization divided by env.now including
+    pre-run setup time, understating the busy fraction."""
+    disk = Disk(env)
+    env.run(env.timeout(10.0))  # setup idle time
+    disk.mark_measurement()
+    t0 = env.now
+    env.run(disk.submit("write", 0, 1 * MiB, count=64))
+    busy = disk.stats.busy_s
+    expected = busy / (env.now - t0)
+    assert disk.utilization == pytest.approx(expected)
+    assert disk.utilization > 0.9  # busy nearly the whole interval
+    # the old computation would have diluted it under busy/(10+run)
+    assert disk.utilization > busy / env.now * 5
+
+
+def test_disk_reset_clears_measurement_mark(env):
+    disk = Disk(env)
+    env.run(disk.submit("write", 0, 1 * MiB, count=4))
+    disk.mark_measurement()
+    disk.reset()
+    assert disk.utilization == 0.0
+    env.run(disk.submit("write", 0, 1 * MiB, count=4))
+    assert disk.utilization > 0.0
+
+
+def test_link_utilization_uses_measured_interval(env):
+    net = Network(env, ["a", "b"], GIGABIT)
+    env.run(env.timeout(10.0))
+    up = net.uplinks["a"]
+    down = net.downlinks["b"]
+    up.mark_measurement()
+    down.mark_measurement()
+    t0 = env.now
+    env.run(net.transfer("a", "b", 1 * MiB, count=32))
+    assert up.utilization == pytest.approx(up.busy_s / (env.now - t0))
+    assert up.utilization > 0.9
+    assert down.utilization > 0.9
 
 
 def test_render(system):
