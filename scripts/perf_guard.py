@@ -112,6 +112,25 @@ def check_overhead(fresh_path: str, factor: float) -> list[str]:
     return problems
 
 
+def check_sanitize(fresh_path: str) -> list[str]:
+    """Assert sanitize mode was OFF while the benchmark ran.
+
+    The sanitizer must be strictly opt-in: a benchmark accidentally
+    recorded under ``REPRO_SANITIZE=1`` would bake the instrumentation
+    cost into the committed baselines and mask real regressions.  The
+    disabled-mode hooks themselves are already covered by the regular
+    ``evaluate_full`` regression check — they sit on the guarded hot
+    path.
+    """
+    fresh = load(fresh_path)
+    sanitize = fresh.get("params", {}).get("sanitize")
+    if sanitize:
+        print(f"perf-guard: {fresh_path}: recorded with sanitize mode ON — FAIL")
+        return [f"{fresh_path}: benchmark ran with the sanitizer enabled"]
+    print(f"perf-guard: {fresh_path}: sanitize mode off ok")
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -119,6 +138,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--fresh", action="append", default=[], help="freshly generated BENCH_*.json"
+    )
+    parser.add_argument(
+        "--check-sanitize",
+        action="store_true",
+        help="fail if a fresh benchmark was recorded with REPRO_SANITIZE on",
     )
     parser.add_argument(
         "--factor",
@@ -141,6 +165,9 @@ def main(argv: list[str] | None = None) -> int:
         problems += check(base, fresh, args.factor)
     for fresh in args.fresh:
         problems += check_overhead(fresh, args.overhead_factor)
+    if args.check_sanitize:
+        for fresh in args.fresh:
+            problems += check_sanitize(fresh)
     if problems:
         print("perf-guard: REGRESSION DETECTED", file=sys.stderr)
         for p in problems:

@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Standalone entry point for the simlint static checker.
+
+Equivalent to ``repro lint``; usable from pre-commit hooks or CI
+without installing the package::
+
+    python scripts/simlint.py src tests
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.simlint import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

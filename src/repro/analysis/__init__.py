@@ -1,0 +1,25 @@
+"""Correctness tooling: static checks (simlint) + runtime sanitizer.
+
+The methodology's verdicts are trustworthy only if the simulation is
+deterministic, dimensionally consistent and leak-free.  This package
+holds the two guards:
+
+* :mod:`repro.analysis.simlint` — AST-based static rules
+  (``repro lint`` / ``scripts/simlint.py``);
+* :mod:`repro.analysis.sanitizer` — runtime invariant checks
+  (``REPRO_SANITIZE=1`` / ``repro evaluate --sanitize``).
+"""
+
+from .sanitizer import SanitizerError, SimSanitizer, Violation, sanitize_enabled
+from .simlint import RULES, Finding, lint_paths, lint_source
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "SanitizerError",
+    "SimSanitizer",
+    "Violation",
+    "sanitize_enabled",
+]

@@ -13,7 +13,13 @@ Subcommands mirror the methodology's phases:
   exports JSON/CSV reports and JSONL/Chrome-format traces.
 * ``perf`` — benchmark the methodology itself: serial vs parallel vs
   cached characterization timings, written as machine-readable JSON.
+* ``lint`` — run the simlint static checks (determinism, units,
+  resource-release safety; see :mod:`repro.analysis.simlint`).
 * ``list`` — show the available cluster configurations and workloads.
+
+``evaluate``/``report`` accept ``--sanitize`` to attach the runtime
+sim-sanitizer (invariant checks; also ``REPRO_SANITIZE=1``) — a
+sanitized run with violations exits nonzero.
 
 ``characterize``/``evaluate``/``predict`` accept ``--jobs`` (worker
 processes; also the ``REPRO_JOBS`` environment variable) and
@@ -109,6 +115,22 @@ def cmd_characterize(args) -> int:
     return 0
 
 
+def _sanitizer_summary(reports) -> int:
+    """Print per-config sanitizer summaries; count total violations."""
+    problems = 0
+    for name, r in reports.items():
+        if r.sanitizer is None:
+            continue
+        violations = r.sanitizer.get("violations", [])
+        problems += len(violations)
+        state = "clean" if not violations else f"{len(violations)} VIOLATION(S)"
+        print(f"sanitizer[{name}]: {state} "
+              f"({r.sanitizer.get('events_checked', 0)} events checked)")
+        for v in violations:
+            print(f"  [{v['check']}] t={v['t_s']:.6f}s: {v['message']}")
+    return problems
+
+
 def cmd_evaluate(args) -> int:
     m = _methodology(args)
     print("characterizing ...", file=sys.stderr)
@@ -119,7 +141,20 @@ def cmd_evaluate(args) -> int:
     print(format_run_metrics(reports))
     for op in ("write", "read"):
         print(format_used_matrix(reports, op))
+    if _sanitizer_summary(reports):
+        print("ERROR: sanitizer reported invariant violations", file=sys.stderr)
+        return 1
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Run the simlint static checks (see repro.analysis.simlint)."""
+    from .analysis.simlint import main as simlint_main
+
+    argv = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    return simlint_main(argv)
 
 
 def cmd_report(args) -> int:
@@ -164,6 +199,9 @@ def cmd_report(args) -> int:
         else:
             write_events_jsonl(args.trace_out, runs, meta={"app": app.name})
         print(f"  -> wrote {args.trace_out} ({args.trace_format})", file=sys.stderr)
+    if _sanitizer_summary(reports):
+        print("ERROR: sanitizer reported invariant violations", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -260,12 +298,15 @@ def cmd_perf(args) -> int:
         "python": platform.python_version(),
     }
 
+    from .analysis.sanitizer import sanitize_enabled
+
     result = {
         "benchmark": "characterize",
         "host": host,
         "params": {
             "configs": sorted(configs),
             "quick": bool(args.quick),
+            "sanitize": sanitize_enabled(),
             "n_jobs": jobs,
             "levels": list(m_serial.levels),
             "block_sizes": list(m_serial.block_sizes),
@@ -361,6 +402,7 @@ def cmd_perf(args) -> int:
         "params": {
             "configs": sorted(configs),
             "quick": bool(args.quick),
+            "sanitize": sanitize_enabled(),
             "apps": sorted(eval_apps),
         },
         "timings_s": {
@@ -418,6 +460,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable phase-replay extrapolation: fully "
                              "simulate every phase occurrence (also the "
                              "REPRO_NO_PHASE_FASTPATH environment variable)")
+        sp.add_argument("--sanitize", action="store_true",
+                        help="attach the runtime sim-sanitizer: invariant "
+                             "checks for event monotonicity, tie-breaking, "
+                             "utilization bounds, byte conservation and "
+                             "resource leaks (also REPRO_SANITIZE=1)")
 
     c = sub.add_parser("characterize", help="phase 1: build performance tables")
     common(c)
@@ -470,6 +517,13 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--eval-out", default="BENCH_evaluate.json",
                     help="evaluation-benchmark JSON file (default: BENCH_evaluate.json)")
     pf.set_defaults(func=cmd_perf)
+
+    ln = sub.add_parser("lint", help="simlint static checks (determinism, "
+                                     "units, resource-release safety)")
+    ln.add_argument("paths", nargs="*", default=["src"],
+                    help="files or directories to lint (default: src)")
+    ln.add_argument("--format", choices=["text", "json"], default="text")
+    ln.set_defaults(func=cmd_lint)
     return p
 
 
@@ -480,6 +534,11 @@ def main(argv: list[str] | None = None) -> int:
 
         # propagate to worker processes spawned by run_tasks
         os.environ["REPRO_NO_PHASE_FASTPATH"] = "1"
+    if getattr(args, "sanitize", False):
+        import os
+
+        # propagate to worker processes spawned by run_tasks
+        os.environ["REPRO_SANITIZE"] = "1"
     return args.func(args)
 
 

@@ -185,6 +185,9 @@ class EvaluationReport:
     replay_phases: Optional[dict] = None
     #: the run's IOEvent stream, when the caller asked to keep it
     events: Optional[list] = None
+    #: sanitized runs only (``--sanitize`` / ``REPRO_SANITIZE=1``):
+    #: invariant-check summary (SimSanitizer.report())
+    sanitizer: Optional[dict] = None
 
     @property
     def io_fraction(self) -> float:

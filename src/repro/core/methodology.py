@@ -65,7 +65,7 @@ def _evaluate_unit(task) -> EvaluationReport:
     import time as _time
 
     (name, config, app, access, tables, phase_fastpath, warm_start,
-     instrument, keep_events, window_s) = task
+     instrument, keep_events, window_s, sanitize) = task
     from dataclasses import replace as _replace
     from ..clusters.builder import warm_system
     from .replay import ReplaySettings
@@ -85,11 +85,26 @@ def _evaluate_unit(task) -> EvaluationReport:
 
         registry = MetricsRegistry(system)
         registry.begin_run(window_s=window_s)
-    wall0 = _time.perf_counter()
+    sanitizer = None
+    if sanitize is None:
+        from ..analysis.sanitizer import sanitize_enabled
+
+        sanitize = sanitize_enabled()
+    if sanitize:
+        from ..analysis.sanitizer import SimSanitizer
+
+        sanitizer = SimSanitizer(system).attach()
+    # wall-clock here measures the *worker's* real runtime for the
+    # perf report; it never feeds simulated time
+    wall0 = _time.perf_counter()  # simlint: ignore[wall-clock]
     run = app.run(system)
-    wall_s = _time.perf_counter() - wall0
+    wall_s = _time.perf_counter() - wall0  # simlint: ignore[wall-clock]
     if registry is not None:
         registry.end_run()
+    sanitizer_report = None
+    if sanitizer is not None:
+        sanitizer_report = sanitizer.finish()
+        sanitizer.detach()
     profile = characterize_app(run.tracer, access=access)
     used = generate_used_percentage(name, profile, tables)
     replay = system.last_replay.stats if system.last_replay is not None else None
@@ -115,6 +130,7 @@ def _evaluate_unit(task) -> EvaluationReport:
             else None
         ),
         events=list(run.tracer.events) if keep_events else None,
+        sanitizer=sanitizer_report,
     )
 
 
@@ -259,6 +275,7 @@ class Methodology:
         instrument: bool = False,
         keep_events: bool = False,
         window_s: Optional[float] = None,
+        sanitize: Optional[bool] = None,
     ) -> dict[str, EvaluationReport]:
         """Run the application on each configuration and compare against
         the characterized tables (phase 1 must have run).
@@ -281,6 +298,12 @@ class Methodology:
         seconds) and phase-replay observability.  ``keep_events=True``
         additionally carries the raw IOEvent stream back for trace
         export.
+
+        ``sanitize`` attaches the runtime sim-sanitizer
+        (:class:`~repro.analysis.sanitizer.SimSanitizer`) to each run;
+        reports come back with an invariant-check summary in
+        ``report.sanitizer``.  ``None`` (the default) follows the
+        ``REPRO_SANITIZE`` environment variable.
         """
         names = list(names or self.configs)
         for name in names:
@@ -288,7 +311,8 @@ class Methodology:
                 raise RuntimeError(f"configuration {name!r} not characterized yet")
         tasks = [
             (name, self.configs[name], app, access, self.tables[name],
-             phase_fastpath, warm_start, instrument, keep_events, window_s)
+             phase_fastpath, warm_start, instrument, keep_events, window_s,
+             sanitize)
             for name in names
         ]
         results = run_tasks(_evaluate_unit, tasks, n_jobs)

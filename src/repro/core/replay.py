@@ -205,7 +205,10 @@ class _GroupState:
     __slots__ = ("members", "disabled", "rounds_since_check", "decisions")
 
     def __init__(self):
-        self.members: set = set()
+        # insertion-ordered dict used as an ordered set: membership is
+        # iterated when deciding rounds, and that decision order must
+        # not depend on tuple hashing
+        self.members: dict = {}
         self.disabled = False
         #: extrapolated rounds since the last synchronized revalidation
         self.rounds_since_check = 0
@@ -234,7 +237,7 @@ class PhaseReplayAccelerator:
         #: write group extrapolated while the read group still
         #: simulated, the simulated reads would run without the
         #: concurrent write load full replay has.
-        self._scopes: dict[tuple, set] = {}
+        self._scopes: dict[tuple, dict] = {}
         self.stats = ReplayStats()
 
     # ------------------------------------------------------------------
@@ -331,9 +334,9 @@ class PhaseReplayAccelerator:
             g = self._groups.get(group)
             if g is None:
                 g = self._groups[group] = _GroupState()
-            g.members.add(key)
+            g.members[key] = None
             if scope is not None:
-                self._scopes.setdefault(scope, set()).add(group)
+                self._scopes.setdefault(scope, {})[group] = None
         if st is None:
             st = self._phases[key] = _PhaseState()
             self.stats.phases += 1

@@ -161,7 +161,7 @@ class RAIDArray:
         if lvl is RAIDLevel.RAID10:
             # one failure per mirror pair is survivable
             half = self.config.ndisks // 2
-            pairs = {i % half for i in self._failed}
+            pairs = {i % half for i in sorted(self._failed)}
             return len(pairs) == len(self._failed)
         return False
 

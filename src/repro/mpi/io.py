@@ -117,6 +117,12 @@ class MPIFile:
             if should_sieve(req, self.hints.ds_buffer_bytes):
                 # data sieving: dense covering reads + in-memory extract
                 plan = plan_sieve(req, self.hints.ds_buffer_bytes)
+                san = self.env.sanitizer
+                if san is not None:
+                    san.note_overfetch(
+                        req.op,
+                        sum(s.total_bytes for s in plan.requests) - req.total_bytes,
+                    )
                 for sub in plan.requests:
                     yield self.fs.submit_direct(self.inode, sub)
                 yield self.env.timeout(
@@ -246,6 +252,15 @@ class MPIFile:
                 replay = world.replay
                 active = {r: q for r, q in reqmap.items() if q.total_bytes > 0}
                 plan = _io_domains(world, self, req.op, active) if active else None
+                if plan is not None:
+                    san = self.env.sanitizer
+                    if san is not None:
+                        # overlapping requests collapse into a smaller
+                        # union of file domains; account the gap once
+                        # per collective call (this is the only rank
+                        # that computes the plan)
+                        covered = sum(d.total_bytes for _afs, d in plan[1])
+                        san.note_gap(req.op, plan[2] - covered)
                 key = _collective_key(self.path, req.op, self.ctx.phase_epoch, reqmap)
                 if plan is not None:
                     # aggregator cache regimes: same rationale as the
@@ -320,6 +335,9 @@ class MPIFile:
         self.ctx.world.iostats.record(
             req.op, req.nbytes, req.count, collective, end - t0
         )
+        san = self.env.sanitizer
+        if san is not None:
+            san.account_iolib(req.op, req.total_bytes)
         if self.ctx.world.tracer is not None:
             from ..tracing.events import IOEvent
 

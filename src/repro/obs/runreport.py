@@ -89,6 +89,8 @@ def build_run_report(app_name: str, reports: dict, meta: Optional[dict] = None) 
                     r.replay.estimated_saved_wall_s(r.wall_s), 4
                 )
             entry["replay"] = replay
+        if r.sanitizer is not None:
+            entry["sanitizer"] = r.sanitizer
         configs[name] = entry
     doc = {
         "schema": REPORT_SCHEMA,
@@ -180,5 +182,13 @@ def render_run_report(reports: dict) -> str:
                 f"extrapolated phases {rp['phases_extrapolated']}; "
                 f"tol {rp['rel_tol']}; est. saved {saved:.2f}s wall"
             )
+        if r.sanitizer is not None:
+            nv = len(r.sanitizer.get("violations", []))
+            lines.append(
+                f"sanitizer: {'clean' if nv == 0 else f'{nv} VIOLATION(S)'} "
+                f"({r.sanitizer.get('events_checked', 0)} events checked)"
+            )
+            for v in r.sanitizer.get("violations", []):
+                lines.append(f"  [{v['check']}] t={v['t_s']:.6f}s: {v['message']}")
         lines.append("")
     return "\n".join(lines)

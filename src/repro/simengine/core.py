@@ -334,6 +334,14 @@ class AnyOf(Event):
 class Environment:
     """The simulation clock and event calendar."""
 
+    #: active :class:`repro.analysis.sanitizer.SimSanitizer`, if any.
+    #: A class-level ``None`` keeps the disabled-mode check on the hot
+    #: paths to a single attribute read; an attached sanitizer shadows
+    #: it with an instance attribute (and overrides ``step``/``reset``
+    #: the same way — ``run`` rebinds ``step`` per call, so the
+    #: instance override takes effect).
+    sanitizer = None
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []

@@ -41,7 +41,7 @@ class Request(Event):
     :meth:`Resource.release`.
     """
 
-    __slots__ = ("resource", "priority", "_order")
+    __slots__ = ("resource", "priority", "_order", "_released")
 
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource.env)
@@ -49,6 +49,7 @@ class Request(Event):
         self.priority = priority
         resource._order += 1
         self._order = resource._order
+        self._released = False
 
 
 class Resource:
@@ -112,11 +113,30 @@ class Resource:
         self._arrival_watchers.clear()
 
     def release(self, req: Request) -> None:
-        """Give the slot back and wake the next waiter."""
+        """Give the slot back and wake the next waiter.
+
+        Misuse — releasing twice, or releasing a queued request that
+        was never granted — silently corrupts the slot count, so it is
+        always an error; under sanitize mode the active sanitizer
+        additionally records it as a violation.
+        """
         try:
             self.users.remove(req)
         except ValueError:
-            raise SimulationError("releasing a request that is not held") from None
+            if req._released:
+                msg = f"double release of a request on {self.name or type(self).__name__!r}"
+            elif req in self.queue:
+                msg = (
+                    f"releasing a queued request on "
+                    f"{self.name or type(self).__name__!r} that was never granted"
+                )
+            else:
+                msg = "releasing a request that is not held"
+            san = self.env.sanitizer
+            if san is not None:
+                san.resource_misuse(msg)
+            raise SimulationError(msg) from None
+        req._released = True
         self._grant_next()
 
     def _grant_next(self) -> None:
@@ -224,7 +244,10 @@ def hold_quantum(
             for i in range(len(resources) - 1, -1, -1):
                 resources[i].release(reqs[i])
             for i, r in enumerate(resources):
-                req = r.request(priority)
+                # the re-acquired request replaces reqs[i] in place, so
+                # the *caller's* try/finally releases it — guaranteed
+                # release lives one frame up
+                req = r.request(priority)  # simlint: ignore[resource-release]
                 yield req
                 reqs[i] = req
 

@@ -214,6 +214,9 @@ class LocalFS:
     def submit_direct(self, inode: Inode, req: IORequest) -> Event:
         """MPI-IO access path; on a local filesystem it is the normal
         page-cached path (syscalls are already synchronous)."""
+        san = self.env.sanitizer
+        if san is not None:
+            san.account_fs(self, req.op, req.total_bytes)
         return self.submit(inode, req)
 
     def submit_serialized_write(self, inode: Inode, req: IORequest, per_op_s: float) -> Event:
@@ -263,6 +266,9 @@ class LocalFS:
         cost, so the flusher is modelled as having kept up.
         """
         total = req.total_bytes
+        san = self.env.sanitizer
+        if san is not None:
+            san.account_fs(self, req.op, total)
         if req.op == "write":
             end = req.offset + req.span
             self._ensure_allocation(inode, end)
@@ -305,7 +311,7 @@ class LocalFS:
             # probing first/middle/last segments classifies the regime
             # in O(1); the token is a heuristic key component, so the
             # approximation only needs to be deterministic
-            probes = {segs[0], segs[n // 2], segs[-1]}
+            probes = sorted({segs[0], segs[n // 2], segs[-1]})
             hits = sum(1 for s in probes if self.cache.is_resident(inode.fileid, s))
             res = 0 if hits == 0 else (2 if hits == len(probes) else 1)
         return (res, self.cache.need_background_flush, self.cache.need_throttle)

@@ -207,6 +207,9 @@ class NFSMount:
         Advances no simulated time.
         """
         total = self.server.export.absorb(inode, req)
+        san = self.env.sanitizer
+        if san is not None:
+            san.account_fs(self, req.op, total)
         if req.op == "write":
             self.stats.bytes_sent += total
         else:
@@ -231,6 +234,9 @@ class NFSMount:
     def _direct(self, inode: Inode, req: IORequest):
         spec = self.spec
         total = req.total_bytes
+        san = self.env.sanitizer
+        if san is not None:
+            san.account_fs(self, req.op, total)
         yield self.env.timeout(
             req.count * spec.client_rpc_cpu_s + self.node.memcpy_time(total)
         )

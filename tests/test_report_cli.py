@@ -40,8 +40,9 @@ def test_report_json_sections(tmp_path):
     assert report["schema"] == "repro.run-report/1"
     assert report["app"].startswith("btio")
     entry = report["configs"]["jbod"]
-    assert set(entry) == {"run", "verdicts", "counters", "histograms",
-                          "utilization", "replay"}
+    # "sanitizer" appears only when the run was sanitized (REPRO_SANITIZE=1)
+    assert set(entry) - {"sanitizer"} == {"run", "verdicts", "counters",
+                                          "histograms", "utilization", "replay"}
     # per-level counters for every level of the I/O path
     assert set(entry["counters"]) == {"iolib", "nfs", "localfs", "cache",
                                       "disk", "network"}
