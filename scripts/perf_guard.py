@@ -61,6 +61,20 @@ def check(baseline_path: str, fresh_path: str, factor: float) -> list[str]:
             f"baseline but {fresh_path} is {kind!r} — skipping"
         )
         return []
+    base_faults = baseline.get("params", {}).get("faults")
+    fresh_faults = fresh.get("params", {}).get("faults")
+    if base_faults != fresh_faults:
+        # A run under fault injection measures degraded-mode behaviour
+        # (rebuild contention, retransmit storms) — comparing it to a
+        # healthy baseline (or vice versa) would flag the fault cost as
+        # a regression.  Never compare across fault modes.
+        print(
+            f"perf-guard: fault schedules differ (baseline "
+            f"{base_faults!r}, fresh {fresh_faults!r}) — skipping "
+            f"{fresh_path}: fault-mode timings are never compared to "
+            f"healthy baselines"
+        )
+        return []
     problems = []
     for key in keys:
         base = baseline.get("timings_s", {}).get(key)

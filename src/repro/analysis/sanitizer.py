@@ -126,6 +126,13 @@ class SimSanitizer:
         self.fs_bytes = _zero_ledger()
         self.gap_bytes = _zero_ledger()
         self.overfetch_bytes = _zero_ledger()
+        # fault-mode overhead ledgers: RAID rebuild traffic and RPC
+        # retransmits never pass the MPI-IO boundary, so they live
+        # outside the conservation identity — tracked separately for
+        # the degraded-mode report rather than folded into fs_bytes
+        # (which would fabricate conservation violations under faults)
+        self.rebuild_bytes = _zero_ledger()
+        self.retransmit_bytes = 0
         #: id() of every filesystem object forming the MPI-IO boundary:
         #: compute-node NFS mounts and local filesystems.  The server
         #: export is *behind* the mounts (its traffic would double
@@ -167,8 +174,10 @@ class SimSanitizer:
             self.fs_bytes,
             self.gap_bytes,
             self.overfetch_bytes,
+            self.rebuild_bytes,
         ):
             ledger["write"] = ledger["read"] = 0
+        self.retransmit_bytes = 0
 
     # -- calendar interception ---------------------------------------------
     def _checked_step(self) -> None:
@@ -236,6 +245,24 @@ class SimSanitizer:
     def note_overfetch(self, op: str, nbytes: int) -> None:
         """Extra bytes a data-sieving plan fetches beyond the request."""
         self.overfetch_bytes[op] += nbytes
+
+    def note_rebuild(self, read_bytes: int, written_bytes: int) -> None:
+        """RAID rebuild traffic (reconstruction reads + spare writes).
+
+        Accounted as overhead: it competes with foreground I/O for the
+        array but originates below the filesystem boundary, so it never
+        enters the conservation identity.
+        """
+        self.rebuild_bytes["read"] += read_bytes
+        self.rebuild_bytes["write"] += written_bytes
+
+    def note_retransmit(self, nbytes: int) -> None:
+        """Wire bytes of re-sent RPC requests against a stalled server.
+
+        Duplicate requests carry no new payload past the filesystem
+        boundary — overhead, not a conservation violation.
+        """
+        self.retransmit_bytes += nbytes
 
     # -- checks -------------------------------------------------------------
     def _record(self, check: str, message: str) -> None:
@@ -371,6 +398,8 @@ class SimSanitizer:
                 "fs_bytes": dict(self.fs_bytes),
                 "gap_bytes": dict(self.gap_bytes),
                 "overfetch_bytes": dict(self.overfetch_bytes),
+                "rebuild_bytes": dict(self.rebuild_bytes),
+                "retransmit_bytes": self.retransmit_bytes,
             },
         }
 

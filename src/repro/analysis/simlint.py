@@ -36,6 +36,15 @@ checks the failure classes this codebase has actually met:
     dimension but different units (``*_bytes`` vs ``*_mib``, ``*_s``
     vs ``*_ms``).
 
+``fault-rng``
+    any stdlib ``random`` usage — import or call, seeded or not —
+    inside :mod:`repro.faults`.  Fault schedules promise byte-
+    identical degraded-mode reports for a fixed seed, so all fault
+    randomness must flow through the schedule-seeded
+    ``env.rng`` registry streams; even a locally seeded
+    ``random.Random(42)`` would decouple the jitter from the
+    schedule's seed.
+
 The first four rules apply only inside the simulation packages
 (:data:`SIM_PACKAGES`); ``unit-mix`` applies everywhere.  Intentional
 exceptions are allowlisted with ``# simlint: ignore[rule]`` (or a bare
@@ -69,12 +78,13 @@ RULES: tuple[str, ...] = (
     "set-iteration",
     "resource-release",
     "unit-mix",
+    "fault-rng",
 )
 
 #: packages whose code runs inside (or feeds) the DES — the scope of
 #: the determinism rules
 SIM_PACKAGES: frozenset[str] = frozenset(
-    {"simengine", "mpi", "storage", "hardware", "core"}
+    {"simengine", "mpi", "storage", "hardware", "core", "faults"}
 )
 
 _TIME_FUNCS = frozenset(
@@ -190,6 +200,15 @@ def _is_sim_path(path: str) -> bool:
     return False
 
 
+def _is_faults_path(path: str) -> bool:
+    """Does ``path`` live in :mod:`repro.faults`?"""
+    parts = Path(path).parts
+    for i, part in enumerate(parts):
+        if part == "repro" and i + 1 < len(parts):
+            return parts[i + 1] == "faults"
+    return False
+
+
 def _target_names(target: ast.expr) -> Iterable[str]:
     if isinstance(target, ast.Name):
         yield target.id
@@ -262,9 +281,16 @@ def _unit_of(node: ast.expr) -> Optional[tuple[str, str]]:
 
 
 class _Linter(ast.NodeVisitor):
-    def __init__(self, path: str, sim_scope: bool, set_names: frozenset[str]):
+    def __init__(
+        self,
+        path: str,
+        sim_scope: bool,
+        set_names: frozenset[str],
+        faults_scope: bool = False,
+    ):
         self.path = path
         self.sim_scope = sim_scope
+        self.faults_scope = faults_scope
         self.set_names = set_names
         self.findings: list[Finding] = []
         # import aliases of interest
@@ -288,6 +314,15 @@ class _Linter(ast.NodeVisitor):
             )
         )
 
+    def _flag_fault_rng(self, node: ast.AST, what: str) -> None:
+        self.flag(
+            node,
+            "fault-rng",
+            f"{what} inside repro.faults: fault jitter must come from the "
+            "schedule-seeded env.rng registry streams, never the stdlib "
+            "random module (seeded or not)",
+        )
+
     # -- imports -----------------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
@@ -298,11 +333,15 @@ class _Linter(ast.NodeVisitor):
                 self.datetime_mods.add(bound)
             elif alias.name == "random":
                 self.random_mods.add(bound)
+                if self.faults_scope:
+                    self._flag_fault_rng(node, "import random")
             elif alias.name == "numpy" or alias.name.startswith("numpy."):
                 self.numpy_mods.add(bound)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         module = node.module or ""
+        if module == "random" and self.faults_scope:
+            self._flag_fault_rng(node, "from random import ...")
         for alias in node.names:
             bound = alias.asname or alias.name
             if module == "time" and alias.name in _TIME_FUNCS:
@@ -325,6 +364,15 @@ class _Linter(ast.NodeVisitor):
 
     def _check_call(self, node: ast.Call) -> None:
         func = node.func
+        if self.faults_scope:
+            if isinstance(func, ast.Name) and func.id in self.random_names:
+                self._flag_fault_rng(node, f"{func.id}() call")
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self.random_mods
+            ):
+                self._flag_fault_rng(node, f"{func.value.id}.{func.attr}() call")
         if isinstance(func, ast.Name):
             if func.id in self.time_names:
                 self.flag(
@@ -575,7 +623,9 @@ def lint_source(
         ]
     if sim_scope is None:
         sim_scope = _is_sim_path(path)
-    linter = _Linter(path, sim_scope, _collect_set_names(tree))
+    linter = _Linter(
+        path, sim_scope, _collect_set_names(tree), faults_scope=_is_faults_path(path)
+    )
     linter.visit(tree)
     wanted = frozenset(rules) if rules is not None else frozenset(RULES)
     out = []

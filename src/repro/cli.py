@@ -19,7 +19,11 @@ Subcommands mirror the methodology's phases:
 
 ``evaluate``/``report`` accept ``--sanitize`` to attach the runtime
 sim-sanitizer (invariant checks; also ``REPRO_SANITIZE=1``) — a
-sanitized run with violations exits nonzero.
+sanitized run with violations exits nonzero.  They also accept
+``--faults SCHEDULE.json`` to inject a deterministic fault schedule
+(disk failures with RAID rebuild, NFS server stalls with RPC
+retransmits, network flaps/latency spikes; see :mod:`repro.faults`)
+and print a degraded-mode report per configuration.
 
 ``characterize``/``evaluate``/``predict`` accept ``--jobs`` (worker
 processes; also the ``REPRO_JOBS`` environment variable) and
@@ -32,7 +36,12 @@ import argparse
 import sys
 from pathlib import Path
 
-from .clusters import AOHYPER_CONFIGS, aohyper_config, cluster_a_config
+from .clusters import (
+    AOHYPER_CONFIGS,
+    AOHYPER_EXTRA_CONFIGS,
+    aohyper_config,
+    cluster_a_config,
+)
 from .core import (
     Methodology,
     format_perf_table,
@@ -51,7 +60,7 @@ __all__ = ["main"]
 def _configs(names: list[str]) -> dict:
     out = {}
     for name in names:
-        if name in AOHYPER_CONFIGS:
+        if name in AOHYPER_CONFIGS or name in AOHYPER_EXTRA_CONFIGS:
             out[name] = aohyper_config(name)
         elif name in ("cluster-a", "cluster_a"):
             out["cluster-a"] = cluster_a_config()
@@ -95,6 +104,8 @@ def cmd_list(_args) -> int:
     print("cluster configurations:")
     for name in AOHYPER_CONFIGS:
         print(f"  {name:<10} (paper cluster Aohyper, device={name})")
+    for name in AOHYPER_EXTRA_CONFIGS:
+        print(f"  {name:<10} (Aohyper extra, opt-in; device={name})")
     print("  cluster-a  (paper cluster A: 32 nodes, NFS on RAID5 front-end)")
     print("workloads:")
     print("  btio       NAS BT-IO (--class, --nprocs, --subtype full|simple)")
@@ -131,16 +142,61 @@ def _sanitizer_summary(reports) -> int:
     return problems
 
 
+def _load_faults(args):
+    """The FaultSchedule named by --faults, or ``None``."""
+    path = getattr(args, "faults", None)
+    if not path:
+        return None
+    from .faults import FaultSchedule
+
+    try:
+        return FaultSchedule.load(path)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"cannot load fault schedule {path!r}: {exc}")
+
+
+def _faults_summary(reports) -> None:
+    """Print the degraded-mode verdict per faulted configuration."""
+    for name, r in reports.items():
+        f = r.faults
+        if f is None:
+            continue
+        print(f"faults[{name}]: verdict={f['verdict']} "
+              f"(degraded {f['degraded_s']:.2f}s of {f['run_end_s']:.2f}s)")
+        for op, ratio in sorted(f.get("bandwidth_ratio", {}).items()):
+            healthy = f["rates_Bps"]["healthy"].get(op, 0.0)
+            degraded = f["rates_Bps"]["degraded"].get(op, 0.0)
+            print(f"  {op:<6} healthy {healthy / 1e6:8.2f} MB/s  "
+                  f"degraded {degraded / 1e6:8.2f} MB/s  ratio {ratio:.3f}")
+        for w in f.get("windows", []):
+            extra = f" disk={w['disk']}" if "disk" in w else ""
+            print(f"  window[{w['index']}] {w['kind']} on {w['target']}{extra}: "
+                  f"{w['t0_s']:.2f}-{w['t1_s']:.2f}s -> {w['outcome']}")
+        for owner, reb in sorted(f.get("rebuild", {}).items()):
+            state = ("rebuilding" if reb["still_rebuilding"]
+                     else "degraded" if reb["degraded"] else "complete")
+            print(f"  rebuild[{owner}]: read {reb['bytes_read'] / 1e6:.1f} MB, "
+                  f"wrote {reb['bytes_written'] / 1e6:.1f} MB ({state})")
+        nfs = f.get("nfs", {})
+        if nfs.get("retransmits") or nfs.get("major_timeouts"):
+            print(f"  nfs: {nfs['retransmits']} retransmit(s), "
+                  f"{nfs['major_timeouts']} major timeout(s)")
+        if f.get("data_loss"):
+            print(f"  DATA LOSS: {f['data_loss']}")
+
+
 def cmd_evaluate(args) -> int:
     m = _methodology(args)
     print("characterizing ...", file=sys.stderr)
     _characterize(m, args)
     app = _app(args)
+    faults = _load_faults(args)
     print(f"evaluating {app.name} ...", file=sys.stderr)
-    reports = m.evaluate(app, n_jobs=args.jobs)
+    reports = m.evaluate(app, n_jobs=args.jobs, faults=faults)
     print(format_run_metrics(reports))
     for op in ("write", "read"):
         print(format_used_matrix(reports, op))
+    _faults_summary(reports)
     if _sanitizer_summary(reports):
         print("ERROR: sanitizer reported invariant violations", file=sys.stderr)
         return 1
@@ -167,6 +223,7 @@ def cmd_report(args) -> int:
     print("characterizing ...", file=sys.stderr)
     _characterize(m, args)
     app = _app(args)
+    faults = _load_faults(args)
     print(f"evaluating {app.name} (instrumented) ...", file=sys.stderr)
     reports = m.evaluate(
         app,
@@ -174,6 +231,7 @@ def cmd_report(args) -> int:
         instrument=True,
         keep_events=bool(args.trace_out),
         window_s=args.window,
+        faults=faults,
     )
     print(render_run_report(reports))
     report = build_run_report(
@@ -199,6 +257,7 @@ def cmd_report(args) -> int:
         else:
             write_events_jsonl(args.trace_out, runs, meta={"app": app.name})
         print(f"  -> wrote {args.trace_out} ({args.trace_format})", file=sys.stderr)
+    _faults_summary(reports)
     if _sanitizer_summary(reports):
         print("ERROR: sanitizer reported invariant violations", file=sys.stderr)
         return 1
@@ -307,6 +366,7 @@ def cmd_perf(args) -> int:
             "configs": sorted(configs),
             "quick": bool(args.quick),
             "sanitize": sanitize_enabled(),
+            "faults": None,
             "n_jobs": jobs,
             "levels": list(m_serial.levels),
             "block_sizes": list(m_serial.block_sizes),
@@ -403,6 +463,7 @@ def cmd_perf(args) -> int:
             "configs": sorted(configs),
             "quick": bool(args.quick),
             "sanitize": sanitize_enabled(),
+            "faults": None,
             "apps": sorted(eval_apps),
         },
         "timings_s": {
@@ -465,6 +526,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "checks for event monotonicity, tie-breaking, "
                              "utilization bounds, byte conservation and "
                              "resource leaks (also REPRO_SANITIZE=1)")
+        sp.add_argument("--faults", default=None, metavar="FILE",
+                        help="inject the deterministic fault schedule in "
+                             "FILE (JSON; see repro.faults.FaultSchedule) "
+                             "during evaluation and print a degraded-mode "
+                             "report per configuration")
 
     c = sub.add_parser("characterize", help="phase 1: build performance tables")
     common(c)

@@ -1,11 +1,17 @@
 """Cluster models: the paper's Aohyper and cluster A, plus a builder API."""
 
-from .aohyper import AOHYPER_CONFIGS, aohyper_config, build_aohyper
+from .aohyper import (
+    AOHYPER_CONFIGS,
+    AOHYPER_EXTRA_CONFIGS,
+    aohyper_config,
+    build_aohyper,
+)
 from .builder import System, SystemConfig, build_system
 from .cluster_a import build_cluster_a, cluster_a_config
 
 __all__ = [
     "AOHYPER_CONFIGS",
+    "AOHYPER_EXTRA_CONFIGS",
     "aohyper_config",
     "build_aohyper",
     "System",

@@ -172,6 +172,9 @@ class System:
         just without the construction cost.
         """
         self.env.reset()
+        # drop any fault-injection RNG registry installed on the
+        # environment (instance attribute shadowing the class default)
+        self.env.__dict__.pop("rng", None)
         self.export.reset()
         self.nfs_server.reset()
         self.server_node.reset()

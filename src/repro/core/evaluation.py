@@ -188,6 +188,10 @@ class EvaluationReport:
     #: sanitized runs only (``--sanitize`` / ``REPRO_SANITIZE=1``):
     #: invariant-check summary (SimSanitizer.report())
     sanitizer: Optional[dict] = None
+    #: faulted runs only (``Methodology.evaluate(faults=...)`` /
+    #: ``--faults``): degraded-mode report
+    #: (repro.faults.build_degraded_report())
+    faults: Optional[dict] = None
 
     @property
     def io_fraction(self) -> float:

@@ -65,11 +65,30 @@ def _evaluate_unit(task) -> EvaluationReport:
     import time as _time
 
     (name, config, app, access, tables, phase_fastpath, warm_start,
-     instrument, keep_events, window_s, sanitize) = task
+     instrument, keep_events, window_s, sanitize, faults) = task
     from dataclasses import replace as _replace
     from ..clusters.builder import warm_system
     from .replay import ReplaySettings
 
+    if faults is not None:
+        from ..faults import FaultSchedule
+
+        if not isinstance(faults, FaultSchedule):
+            faults = FaultSchedule.from_dict(faults)
+        # the degraded-mode report re-attributes utilization per fault
+        # window, which needs the sampled observability windows
+        instrument = True
+    reference = None
+    if faults is not None:
+        # fault-free twin of the run: the degraded report compares
+        # each fault window against the same simulated-time span of
+        # this baseline, cancelling the workload's own phase mix
+        ref_system = build_system(Environment(), config)
+        ref_system.replay_settings = _replace(
+            ReplaySettings.from_env(), enabled=False
+        )
+        ref_run = app.run(ref_system)
+        reference = (list(ref_run.tracer.events), ref_system.env.now)
     if warm_start:
         # reuse this worker's previously built topology for the config
         system = warm_system(config)
@@ -78,6 +97,10 @@ def _evaluate_unit(task) -> EvaluationReport:
     settings = ReplaySettings.from_env()
     if phase_fastpath is not None:
         settings = _replace(settings, enabled=bool(phase_fastpath))
+    if faults is not None:
+        # the accelerator extrapolates repeated phases from healthy
+        # occurrences, which would paper over mid-run degradation
+        settings = _replace(settings, enabled=False)
     system.replay_settings = settings
     registry = None
     if instrument:
@@ -94,10 +117,25 @@ def _evaluate_unit(task) -> EvaluationReport:
         from ..analysis.sanitizer import SimSanitizer
 
         sanitizer = SimSanitizer(system).attach()
+    injector = None
+    if faults is not None:
+        from ..faults import FaultInjector
+
+        injector = FaultInjector(system, faults).arm()
     # wall-clock here measures the *worker's* real runtime for the
     # perf report; it never feeds simulated time
     wall0 = _time.perf_counter()  # simlint: ignore[wall-clock]
-    run = app.run(system)
+    data_loss = None
+    run = None
+    try:
+        run = app.run(system)
+    except Exception as exc:
+        from ..hardware.raid import DataLossError
+
+        if injector is None or not isinstance(exc, DataLossError):
+            raise
+        # terminal degraded state: salvage what the run traced so far
+        data_loss = str(exc)
     wall_s = _time.perf_counter() - wall0  # simlint: ignore[wall-clock]
     if registry is not None:
         registry.end_run()
@@ -105,15 +143,47 @@ def _evaluate_unit(task) -> EvaluationReport:
     if sanitizer is not None:
         sanitizer_report = sanitizer.finish()
         sanitizer.detach()
-    profile = characterize_app(run.tracer, access=access)
+    if run is not None:
+        tracer = run.tracer
+        execution_time_s = run.execution_time_s
+        io_time_s = run.io_time_s
+        bytes_written = run.bytes_written
+        bytes_read = run.bytes_read
+    else:
+        tracer = getattr(system, "last_tracer", None)
+        if tracer is None:
+            tracer = IOTracer()
+        execution_time_s = system.env.now
+        io_time_s = sum(e.duration for e in tracer.events)
+        bytes_written = sum(e.total_bytes for e in tracer.events if e.op == "write")
+        bytes_read = sum(e.total_bytes for e in tracer.events if e.op == "read")
+    profile = characterize_app(tracer, access=access)
     used = generate_used_percentage(name, profile, tables)
     replay = system.last_replay.stats if system.last_replay is not None else None
+    util_report = registry.utilization_report() if registry is not None else None
+    faults_report = None
+    if injector is not None:
+        from ..faults import build_degraded_report
+
+        faults_report = build_degraded_report(
+            name,
+            system,
+            faults,
+            injector.windows,
+            tracer,
+            profile,
+            tables,
+            utilization=util_report,
+            data_loss=data_loss,
+            healthy_events=reference[0],
+            healthy_end=reference[1],
+        )
     return EvaluationReport(
         config_name=name,
-        execution_time_s=run.execution_time_s,
-        io_time_s=run.io_time_s,
-        bytes_written=run.bytes_written,
-        bytes_read=run.bytes_read,
+        execution_time_s=execution_time_s,
+        io_time_s=io_time_s,
+        bytes_written=bytes_written,
+        bytes_read=bytes_read,
         used=used,
         profile=profile,
         replay=replay,
@@ -123,14 +193,15 @@ def _evaluate_unit(task) -> EvaluationReport:
             if registry is not None
             else None
         ),
-        utilization=registry.utilization_report() if registry is not None else None,
+        utilization=util_report,
         replay_phases=(
             system.last_replay.observability()
             if instrument and system.last_replay is not None
             else None
         ),
-        events=list(run.tracer.events) if keep_events else None,
+        events=list(tracer.events) if keep_events else None,
         sanitizer=sanitizer_report,
+        faults=faults_report,
     )
 
 
@@ -276,6 +347,7 @@ class Methodology:
         keep_events: bool = False,
         window_s: Optional[float] = None,
         sanitize: Optional[bool] = None,
+        faults=None,
     ) -> dict[str, EvaluationReport]:
         """Run the application on each configuration and compare against
         the characterized tables (phase 1 must have run).
@@ -304,15 +376,29 @@ class Methodology:
         reports come back with an invariant-check summary in
         ``report.sanitizer``.  ``None`` (the default) follows the
         ``REPRO_SANITIZE`` environment variable.
+
+        ``faults`` injects a deterministic
+        :class:`~repro.faults.FaultSchedule` (or its dict form) into
+        every run: disks fail mid-run with background RAID rebuilds,
+        the NFS server stalls, links flap.  Reports come back with a
+        degraded-mode report in ``report.faults`` (see
+        :func:`repro.faults.build_degraded_report`); instrumentation
+        is forced on and the phase-replay accelerator off, since both
+        would misrepresent a run whose performance changes mid-flight.
         """
         names = list(names or self.configs)
         for name in names:
             if name not in self.tables:
                 raise RuntimeError(f"configuration {name!r} not characterized yet")
+        if faults is not None:
+            from ..faults import FaultSchedule
+
+            if not isinstance(faults, FaultSchedule):
+                faults = FaultSchedule.from_dict(faults)
         tasks = [
             (name, self.configs[name], app, access, self.tables[name],
              phase_fastpath, warm_start, instrument, keep_events, window_s,
-             sanitize)
+             sanitize, faults)
             for name in names
         ]
         results = run_tasks(_evaluate_unit, tasks, n_jobs)

@@ -21,16 +21,30 @@ execution needs no picklability at all.  Anything > 1 fans out;
 
 If the pool itself cannot start (restricted environments: no ``fork``,
 no semaphores, no ``/dev/shm``) the map silently degrades to serial —
-the result is identical, only slower.  Exceptions raised *inside* a
-worker propagate unchanged.
+the result is identical, only slower.
+
+Worker failures self-heal rather than killing the whole fan-out: a
+shard that raises (or whose worker process dies, breaking the pool)
+is retried once in a fresh pool after a short backoff, and if the
+retry fails too the surviving shards are recomputed serially in the
+parent — where a genuine error finally propagates unchanged.  Because
+every unit is a pure function of its inputs, the healed result is
+bit-identical to an undisturbed parallel (or serial) run.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from typing import Callable, Optional, Sequence, TypeVar
 
 __all__ = ["resolve_jobs", "run_tasks"]
+
+log = logging.getLogger(__name__)
+
+#: seconds to wait before retrying failed shards in a fresh pool
+RETRY_BACKOFF_S = 0.25
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -69,12 +83,52 @@ def run_tasks(
     jobs = min(resolve_jobs(n_jobs), len(items))
     if jobs <= 1:
         return [fn(it) for it in items]
-    from concurrent.futures import ProcessPoolExecutor
 
+    results: dict[int, R] = {}
+
+    def attempt(indices: list[int]) -> list[int]:
+        """One pool pass over ``indices``; returns the shards that failed.
+
+        A worker exception (including a :class:`BrokenProcessPool`
+        when the worker process itself died) fails only its shard —
+        completed shards keep their results.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        failed: list[int] = []
+        with ProcessPoolExecutor(max_workers=min(jobs, len(indices))) as executor:
+            futures = {i: executor.submit(fn, items[i]) for i in indices}
+            for i, fut in futures.items():
+                try:
+                    results[i] = fut.result()
+                except Exception as exc:
+                    log.warning("parallel shard %d failed: %r", i, exc)
+                    failed.append(i)
+        return failed
+
+    pending = list(range(len(items)))
     try:
-        executor = ProcessPoolExecutor(max_workers=jobs)
+        pending = attempt(pending)
     except (OSError, ImportError, NotImplementedError):
         # Pool start-up failure (sandboxed host): same answer, serially.
         return [fn(it) for it in items]
-    with executor:
-        return list(executor.map(fn, items))
+    if pending:
+        # Retry crashed shards once in a fresh pool — a wedged or
+        # OOM-killed worker poisons its whole pool, not the inputs.
+        log.warning(
+            "retrying %d failed shard(s) in a fresh pool after %.2fs",
+            len(pending),
+            RETRY_BACKOFF_S,
+        )
+        time.sleep(RETRY_BACKOFF_S)
+        try:
+            pending = attempt(pending)
+        except (OSError, ImportError, NotImplementedError):
+            pass  # fall through to the serial path below
+    if pending:
+        # Last resort: recompute the stragglers serially in the
+        # parent, where a genuine error propagates unchanged.
+        log.warning("serial fallback for %d shard(s)", len(pending))
+        for i in pending:
+            results[i] = fn(items[i])
+    return [results[i] for i in range(len(items))]

@@ -28,6 +28,7 @@ change that alters the modelled rates).
 from __future__ import annotations
 
 import json
+import logging
 import os
 import shutil
 from pathlib import Path
@@ -37,6 +38,8 @@ from ..fingerprint import fingerprint
 from .perftable import PerformanceTable
 
 __all__ = ["TableCache", "default_cache_root"]
+
+log = logging.getLogger(__name__)
 
 
 def default_cache_root() -> Path:
@@ -71,6 +74,12 @@ class TableCache:
         partial entry (e.g. written by a run with fewer levels) is
         treated as a miss so callers never mix cached and missing
         levels silently.
+
+        A corrupt entry (truncated write, hand-edited CSV, bit rot)
+        is **quarantined**, not raised: the whole entry directory is
+        renamed to ``<key>.corrupt`` (kept for inspection), a warning
+        is logged, and the miss makes the caller recompute — a broken
+        cache never takes characterization down with it.
         """
         entry = self.entry_dir(key)
         tables: dict[str, PerformanceTable] = {}
@@ -78,8 +87,31 @@ class TableCache:
             path = entry / f"{config_name}_{level}.csv"
             if not path.exists():
                 return None
-            tables[level] = PerformanceTable.from_csv(level, path.read_text())
+            try:
+                tables[level] = PerformanceTable.from_csv(level, path.read_text())
+            except Exception as exc:
+                self._quarantine(entry, exc)
+                return None
         return tables
+
+    def _quarantine(self, entry: Path, reason: Exception) -> Optional[Path]:
+        """Move a corrupt entry aside as ``<name>.corrupt`` and log it."""
+        dest = entry.with_name(entry.name + ".corrupt")
+        n = 1
+        while dest.exists():
+            dest = entry.with_name(f"{entry.name}.corrupt.{n}")
+            n += 1
+        try:
+            os.replace(entry, dest)
+        except OSError:  # pragma: no cover - concurrent quarantine
+            return None
+        log.warning(
+            "quarantined corrupt cache entry %s -> %s (%r); will recompute",
+            entry.name,
+            dest.name,
+            reason,
+        )
+        return dest
 
     @staticmethod
     def _write_atomic(path: Path, text: str) -> None:
@@ -141,10 +173,15 @@ class TableCache:
         return n
 
     def entries(self) -> list[str]:
-        """Keys currently present in the cache."""
+        """Keys currently present in the cache (quarantined entries
+        are parked under ``*.corrupt`` names and excluded)."""
         if not self.root.is_dir():
             return []
-        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+        return sorted(
+            p.name
+            for p in self.root.iterdir()
+            if p.is_dir() and ".corrupt" not in p.name
+        )
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<TableCache root={str(self.root)!r} entries={len(self.entries())}>"

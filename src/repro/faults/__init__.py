@@ -1,0 +1,41 @@
+"""Deterministic fault injection and degraded-mode evaluation.
+
+The paper's methodology characterizes and evaluates *healthy* I/O
+configurations; this package extends the evaluation phase with the
+failure behaviour that distinguishes them in production: a RAID 5 and
+a RAID 10 array with equal healthy bandwidth degrade very differently
+when a member disk dies mid-run.
+
+Three pieces:
+
+* :mod:`~repro.faults.schedule` — a seeded, JSON-serialisable
+  :class:`FaultSchedule`: *at simulated time T, inject fault F*.
+  Kinds: ``disk_fail`` (with background RAID rebuild), ``nfs_stall``
+  (server brown-out driving client RPC retransmits), ``link_flap``
+  and ``latency_spike`` (network faults).
+* :mod:`~repro.faults.injector` — a :class:`FaultInjector` armed on a
+  built :class:`~repro.clusters.builder.System` before the
+  application runs; it spawns one simulation process per schedule
+  entry and records the resulting fault windows.
+* :mod:`~repro.faults.report` — :func:`build_degraded_report` turns a
+  faulted run into the **degraded-mode report**: per-fault-window
+  transfer rates, utilization re-attribution, rebuild/retransmit
+  overheads and a graceful-degradation verdict per configuration.
+
+Everything is deterministic: the schedule's ``seed`` feeds a
+:class:`~repro.simengine.rng.RngRegistry` installed as ``env.rng``,
+so the same schedule on the same configuration produces a
+byte-identical degraded-mode report.
+"""
+
+from .schedule import FAULT_KINDS, FaultSchedule, FaultSpec
+from .injector import FaultInjector
+from .report import build_degraded_report
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultInjector",
+    "build_degraded_report",
+]

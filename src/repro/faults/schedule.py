@@ -1,0 +1,162 @@
+"""Seeded, serialisable fault schedules.
+
+A :class:`FaultSchedule` is the unit of reproducibility for degraded
+-mode evaluation: a root seed plus an ordered list of
+:class:`FaultSpec` entries (*at simulated time T, inject fault F*).
+Schedules round-trip through JSON so a faulted experiment is a small
+artifact that can live next to its results (``repro evaluate
+--faults schedule.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultSchedule"]
+
+#: supported fault kinds, in documentation order
+FAULT_KINDS = ("disk_fail", "nfs_stall", "link_flap", "latency_spike")
+
+#: kinds that require a positive duration
+_DURATION_KINDS = ("nfs_stall", "link_flap", "latency_spike")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Only the fields relevant to ``kind`` are consulted:
+
+    ``disk_fail``
+        ``target`` names the node owning the array (``"ionode"`` for
+        the NFS server's array, a compute-node name for local
+        storage); ``disk`` is the member index.  A background rebuild
+        onto a hot spare starts immediately unless
+        ``hot_spare_delay_s`` postpones it; ``rebuild_rate_Bps``
+        caps the rebuild rate, ``rebuild_bytes`` bounds the extent
+        (default: the member's full capacity) and
+        ``rebuild_priority`` queues rebuild I/O behind foreground
+        traffic.
+    ``nfs_stall``
+        The NFS server stops servicing RPCs for ``duration_s``;
+        clients retransmit with exponential backoff (``target``
+        is ignored — there is one server).
+    ``link_flap``
+        ``target`` endpoint's link(s) on ``network`` (``"data"`` or
+        ``"comm"``) go down for ``duration_s`` in ``direction``
+        (``"both"``/``"up"``/``"down"``).
+    ``latency_spike``
+        ``target`` endpoint's per-message latency on ``network`` is
+        multiplied by ``factor`` for ``duration_s``.
+    """
+
+    t_s: float
+    kind: str
+    target: str = "ionode"
+    disk: int = 0
+    duration_s: float = 0.0
+    rebuild_rate_Bps: Optional[float] = None
+    rebuild_bytes: Optional[int] = None
+    rebuild_priority: int = 2
+    hot_spare_delay_s: float = 0.0
+    factor: float = 1.0
+    direction: str = "both"
+    network: str = "data"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (one of {FAULT_KINDS})")
+        if self.t_s < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.kind in _DURATION_KINDS and self.duration_s <= 0:
+            raise ValueError(f"{self.kind} needs a positive duration_s")
+        if self.disk < 0:
+            raise ValueError("disk index must be >= 0")
+        if self.factor <= 0:
+            raise ValueError("latency factor must be positive")
+        if self.direction not in ("both", "up", "down"):
+            raise ValueError(f"bad direction {self.direction!r}")
+        if self.network not in ("data", "comm"):
+            raise ValueError(f"bad network {self.network!r}")
+        if self.rebuild_rate_Bps is not None and self.rebuild_rate_Bps <= 0:
+            raise ValueError("rebuild_rate_Bps must be positive")
+        if self.rebuild_bytes is not None and self.rebuild_bytes <= 0:
+            raise ValueError("rebuild_bytes must be positive")
+        if self.hot_spare_delay_s < 0:
+            raise ValueError("hot_spare_delay_s must be >= 0")
+
+    def as_dict(self) -> dict:
+        """Compact JSON-safe form: defaults are omitted."""
+        out: dict = {"t_s": self.t_s, "kind": self.kind}
+        for f in fields(self):
+            if f.name in ("t_s", "kind"):
+                continue
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault fields {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered set of faults plus the root seed of their jitter.
+
+    Entries are kept sorted by injection time (stable for ties), so
+    two schedules listing the same faults in different order are the
+    same schedule.
+    """
+
+    entries: tuple = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self):
+        ordered = tuple(sorted(self.entries, key=lambda e: e.t_s))
+        object.__setattr__(self, "entries", ordered)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # -- serialisation ---------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "entries": [e.as_dict() for e in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValueError("a fault schedule is {'seed': ..., 'entries': [...]}")
+        entries = tuple(FaultSpec.from_dict(e) for e in data["entries"])
+        return cls(entries=entries, seed=int(data.get("seed", 0)))
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "FaultSchedule":
+        from pathlib import Path
+
+        return cls.from_json(Path(path).read_text())

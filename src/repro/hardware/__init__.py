@@ -3,9 +3,10 @@
 from .disk import Disk, DiskSpec, READ, WRITE
 from .network import GIGABIT, TEN_GIGABIT, Link, LinkSpec, Network
 from .node import Cluster, Node, NodeSpec
-from .raid import RAIDArray, RAIDConfig, RAIDLevel
+from .raid import DataLossError, RAIDArray, RAIDConfig, RAIDLevel
 
 __all__ = [
+    "DataLossError",
     "Disk",
     "DiskSpec",
     "READ",

@@ -57,10 +57,43 @@ class Link:
         self.bytes_carried = 0
         self.messages = 0
         self.busy_s = 0.0
+        # fault-injection state: transfers wait out a down window, and
+        # a latency spike multiplies the per-message latency until it
+        # expires (see repro.faults)
+        self._down_until = 0.0
+        self._latency_factor = 1.0
+        self._latency_until = 0.0
         # measurement origin for :attr:`utilization` (see
         # mark_measurement): excludes pre-run setup time
         self._mark_t = 0.0
         self._mark_busy = 0.0
+
+    # -- fault injection -------------------------------------------------
+    def fail_until(self, t_s: float) -> None:
+        """Take the link down until absolute simulated time ``t_s``.
+
+        Transfers that have not yet acquired the channel wait out the
+        window; a transfer already serialising completes (its frames
+        were on the wire).
+        """
+        self._down_until = max(self._down_until, t_s)
+
+    def spike_latency_until(self, factor: float, t_s: float) -> None:
+        """Multiply the per-message latency by ``factor`` until ``t_s``."""
+        if factor <= 0:
+            raise ValueError("latency factor must be positive")
+        self._latency_factor = factor
+        self._latency_until = t_s
+
+    @property
+    def down(self) -> bool:
+        return self.env.now < self._down_until
+
+    @property
+    def effective_latency_s(self) -> float:
+        if self.env.now < self._latency_until:
+            return self.spec.latency_s * self._latency_factor
+        return self.spec.latency_s
 
     def hold_time(self, nbytes: int, count: int = 1) -> float:
         """Serialisation time for ``count`` back-to-back messages."""
@@ -78,6 +111,8 @@ class Link:
         )
 
     def _send(self, nbytes, count, priority):
+        while self.env.now < self._down_until:
+            yield self.env.wake_at(self._down_until)
         req = self.channel.request(priority)
         yield req
         reqs = [req]
@@ -95,7 +130,7 @@ class Link:
             if reqs[0] in self.channel.users:
                 self.channel.release(reqs[0])
         # propagation latency of the tail message (pipelined with the rest)
-        yield self.env.timeout(self.spec.latency_s)
+        yield self.env.timeout(self.effective_latency_s)
         return nbytes * count
 
     def mark_measurement(self) -> None:
@@ -118,6 +153,9 @@ class Link:
         self.bytes_carried = 0
         self.messages = 0
         self.busy_s = 0.0
+        self._down_until = 0.0
+        self._latency_factor = 1.0
+        self._latency_until = 0.0
         self._mark_t = 0.0
         self._mark_busy = 0.0
 
@@ -176,6 +214,11 @@ class Network:
     def _route(self, src, dst, nbytes, count, priority):
         up = self.uplinks[src]
         down = self.downlinks[dst]
+        # A flapped link delays the transfer until it is back up (TCP
+        # rides out short outages by retransmitting; payload accounting
+        # of those retransmits lives at the RPC layer, see storage.nfs).
+        while self.env.now < up._down_until or self.env.now < down._down_until:
+            yield self.env.wake_at(max(up._down_until, down._down_until))
         # Acquire uplink first, downlink second (fixed order; the two
         # resource sets are disjoint so no deadlock cycle can form).
         up_req = up.channel.request(priority)
@@ -205,8 +248,31 @@ class Network:
                 down.channel.release(reqs[1])
             if reqs[0] in up.channel.users:
                 up.channel.release(reqs[0])
-        yield self.env.timeout(self.spec.latency_s)
+        yield self.env.timeout(
+            max(up.effective_latency_s, down.effective_latency_s)
+        )
         return nbytes * count
+
+    # -- fault injection -------------------------------------------------
+    def flap(self, endpoint: str, duration_s: float, direction: str = "both") -> None:
+        """Take ``endpoint``'s link(s) down for ``duration_s`` from now."""
+        if endpoint not in self.uplinks:
+            raise KeyError(f"unknown endpoint {endpoint!r}")
+        if direction not in ("both", "up", "down"):
+            raise ValueError(f"bad direction {direction!r}")
+        until = self.env.now + duration_s
+        if direction in ("both", "up"):
+            self.uplinks[endpoint].fail_until(until)
+        if direction in ("both", "down"):
+            self.downlinks[endpoint].fail_until(until)
+
+    def latency_spike(self, endpoint: str, factor: float, duration_s: float) -> None:
+        """Multiply ``endpoint``'s per-message latency for ``duration_s``."""
+        if endpoint not in self.uplinks:
+            raise KeyError(f"unknown endpoint {endpoint!r}")
+        until = self.env.now + duration_s
+        self.uplinks[endpoint].spike_latency_until(factor, until)
+        self.downlinks[endpoint].spike_latency_until(factor, until)
 
     def reset(self) -> None:
         """Reset every link of the fabric (warm reuse)."""

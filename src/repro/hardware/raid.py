@@ -33,7 +33,25 @@ from typing import Optional
 from ..simengine import Environment, Event
 from .disk import Disk, DiskSpec, READ, WRITE, MiB
 
-__all__ = ["RAIDLevel", "RAIDConfig", "RAIDArray"]
+__all__ = ["RAIDLevel", "RAIDConfig", "RAIDArray", "DataLossError", "RebuildStats"]
+
+
+class DataLossError(RuntimeError):
+    """The failure set exceeds the organisation's redundancy.
+
+    A terminal state: every subsequent :meth:`RAIDArray.submit` raises
+    until :meth:`RAIDArray.reset` rebuilds the array from scratch.
+    """
+
+
+@dataclass
+class RebuildStats:
+    """Cumulative background-rebuild traffic of one array."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    completed: int = 0
+    aborted: int = 0
 
 
 class RAIDLevel(str, Enum):
@@ -109,6 +127,9 @@ class RAIDArray:
         ]
         self.capacity_bytes = config.capacity_bytes
         self._failed: set[int] = set()
+        self._data_lost = False
+        self._rebuilding: set[int] = set()
+        self.rebuild_stats = RebuildStats()
         # -- write-back cache state --
         self._dirty = 0
         self._pending_flush: list[tuple[int, int]] = []  # (offset, nbytes)
@@ -126,14 +147,43 @@ class RAIDArray:
         Redundant levels (RAID 1/5/6/10) continue in *degraded mode*
         — reads that would have hit the failed member must reconstruct
         from the survivors (RAID 5: read every surviving member of the
-        stripe and XOR).  Non-redundant levels (JBOD, RAID 0) raise on
-        the next access: the data is gone.
+        stripe and XOR).  Non-redundant levels (JBOD, RAID 0) raise
+        :class:`DataLossError` on the next access: the data is gone.
+
+        Safe to call with requests in flight: operations already
+        granted a member's head complete normally (their data was on
+        the wire), and when the failure exceeds the redundancy the
+        write-back machinery is drained rather than left stranded —
+        pending flushes are dropped, the drain event fires, and writers
+        blocked on cache space are woken so they fail at their own
+        submit instead of waiting forever.
         """
         if not 0 <= index < len(self.disks):
             raise IndexError(f"no member disk {index}")
         self._failed.add(index)
         if not self.survives_failures:
-            return  # array is now dead; submits will raise
+            self._data_lost = True
+            self._abort_writeback()
+
+    def repair_disk(self, index: int) -> None:
+        """Return a member to service (rebuild completed / disk swapped)."""
+        self._failed.discard(index)
+        self._rebuilding.discard(index)
+
+    def _abort_writeback(self) -> None:
+        """Unwind write-back state after an unsurvivable failure.
+
+        Dirty cache contents have nowhere to go; dropping them models
+        the data loss.  Space waiters are woken so their
+        ``_cached_write`` loops re-check :attr:`_data_lost` and raise
+        instead of sleeping on an event that would never fire.
+        """
+        self._pending_flush.clear()
+        self._dirty = 0
+        while self._space_waiters:
+            self._space_waiters.pop(0).succeed()
+        if not self._flusher_running and not self._drained.triggered:
+            self._drained.succeed()
 
     @property
     def failed_disks(self) -> frozenset[int]:
@@ -168,6 +218,113 @@ class RAIDArray:
     def _alive(self) -> list[Disk]:
         return [d for i, d in enumerate(self.disks) if i not in self._failed]
 
+    @property
+    def data_lost(self) -> bool:
+        return self._data_lost
+
+    @property
+    def rebuilding(self) -> bool:
+        return bool(self._rebuilding)
+
+    # ------------------------------------------------------------------
+    # background rebuild
+    # ------------------------------------------------------------------
+    #: per-iteration rebuild extent (matches the md default stripe batch)
+    REBUILD_CHUNK = 4 * MiB
+
+    def start_rebuild(
+        self,
+        index: int,
+        rate_Bps: Optional[float] = None,
+        rebuild_bytes: Optional[int] = None,
+        priority: int = 2,
+        hot_spare_delay_s: float = 0.0,
+    ) -> Event:
+        """Rebuild failed member ``index`` onto a hot spare, in the
+        background, competing with foreground traffic for the array.
+
+        Mirrored levels copy the surviving mirror; parity levels read
+        *every* surviving member and XOR, so a RAID 5 rebuild loads the
+        whole array while a RAID 10 rebuild loads one spindle — the
+        contention difference behind their graceful-degradation gap.
+
+        ``rate_Bps`` caps the rebuild rate (`md` speed_limit_max);
+        rebuild traffic additionally runs at a *lower* priority than
+        foreground requests (``priority``, larger = later in the head
+        queue).  ``rebuild_bytes`` overrides the extent to reconstruct
+        (default: the member's full capacity — far beyond most
+        simulated runs, i.e. the rebuild outlives the run, which is
+        realistic for mid-run failures).
+
+        Returns an event whose value is ``"rebuilt"`` when the member
+        returned to service or ``"data-loss"`` if another failure made
+        the array unsurvivable mid-rebuild (the event *succeeds* with
+        that value — the terminal state surfaces at the next submit).
+        """
+        if index not in self._failed:
+            raise ValueError(f"member disk {index} has not failed")
+        if index in self._rebuilding:
+            raise ValueError(f"member disk {index} is already rebuilding")
+        self._rebuilding.add(index)
+        total = rebuild_bytes
+        if total is None:
+            total = self.config.disk.capacity_bytes
+        return self.env.process(
+            self._rebuild(index, total, rate_Bps, priority, hot_spare_delay_s),
+            name=f"{self.name}.rebuild",
+        )
+
+    def _rebuild(self, index, total, rate_Bps, priority, hot_spare_delay_s):
+        if hot_spare_delay_s > 0:
+            yield self.env.timeout(hot_spare_delay_s)
+        spare = self.disks[index]
+        lvl = self.config.level
+        done = 0
+        while done < total:
+            if self._data_lost or not self.survives_failures:
+                self._rebuilding.discard(index)
+                self.rebuild_stats.aborted += 1
+                return "data-loss"
+            chunk = min(total - done, self.REBUILD_CHUNK)
+            t0 = self.env.now
+            alive = self._alive()
+            if lvl in (RAIDLevel.RAID1, RAIDLevel.RAID10):
+                # copy from the surviving mirror of the failed member
+                if lvl is RAIDLevel.RAID10:
+                    half = self.config.ndisks // 2
+                    partner = (index + half) % self.config.ndisks
+                    source = self.disks[partner]
+                    if partner in self._failed:  # pragma: no cover - defensive
+                        source = alive[0]
+                else:
+                    source = alive[0]
+                reads = [source.submit(READ, done, chunk, priority=priority)]
+                read_bytes = chunk
+            else:
+                # parity reconstruction: read the extent from every
+                # surviving member and XOR in controller memory
+                reads = [
+                    d.submit(READ, done, chunk, priority=priority) for d in alive
+                ]
+                read_bytes = chunk * len(alive)
+            write = spare.submit(WRITE, done, chunk, priority=priority)
+            yield self.env.all_of(reads + [write])
+            self.rebuild_stats.bytes_read += read_bytes
+            self.rebuild_stats.bytes_written += chunk
+            san = self.env.sanitizer
+            if san is not None:
+                san.note_rebuild(read_bytes, chunk)
+            done += chunk
+            if rate_Bps:
+                # pace to the configured rebuild rate
+                floor = chunk / rate_Bps
+                elapsed = self.env.now - t0
+                if elapsed < floor:
+                    yield self.env.timeout(floor - elapsed)
+        self.repair_disk(index)
+        self.rebuild_stats.completed += 1
+        return "rebuilt"
+
     # ------------------------------------------------------------------
     # public interface
     # ------------------------------------------------------------------
@@ -195,8 +352,8 @@ class RAIDArray:
             raise ValueError(f"bad op {op!r}")
         if offset < 0 or nbytes < 0 or count < 1:
             raise ValueError("invalid request geometry")
-        if self._failed and not self.survives_failures:
-            raise RuntimeError(
+        if self._data_lost or (self._failed and not self.survives_failures):
+            raise DataLossError(
                 f"array {self.name!r} has lost data: {sorted(self._failed)} failed "
                 f"on a {self.config.level.value} organisation"
             )
@@ -223,6 +380,11 @@ class RAIDArray:
         total = nbytes * count
         absorbed = 0
         while absorbed < total:
+            if self._data_lost:
+                raise DataLossError(
+                    f"array {self.name!r} lost data while a cached write was "
+                    "waiting for controller-cache space"
+                )
             space = self.config.cache_bytes - self._dirty
             if space <= 0:
                 ev = self.env.event()
@@ -247,13 +409,23 @@ class RAIDArray:
             flushed = 0
             while flushed < n:
                 chunk = min(n - flushed, self.FLUSH_CHUNK)
-                yield self._media(WRITE, off + flushed, chunk, 1, None, priority=1)
+                try:
+                    yield self._media(WRITE, off + flushed, chunk, 1, None, priority=1)
+                except DataLossError:
+                    # the array died under the flusher: the remaining
+                    # dirty data is gone; terminate cleanly so waiters
+                    # on flush()/cache space are not stranded
+                    self._abort_writeback()
+                    break
                 flushed += chunk
-                self._dirty -= chunk
+                # clamped: a concurrent _abort_writeback may have
+                # zeroed the counter while this chunk was in flight
+                self._dirty = max(self._dirty - chunk, 0)
                 while self._space_waiters and self._dirty < self.config.cache_bytes:
                     self._space_waiters.pop(0).succeed()
         self._flusher_running = False
-        self._drained.succeed()
+        if not self._drained.triggered:
+            self._drained.succeed()
 
     # ------------------------------------------------------------------
     # media geometry
@@ -264,7 +436,7 @@ class RAIDArray:
             stride = 127 * max(nbytes, 65536)
         if self._failed:
             if not self.survives_failures:
-                raise RuntimeError(
+                raise DataLossError(
                     f"array {self.name!r} has lost data: {sorted(self._failed)} failed "
                     f"on a {lvl.value} organisation"
                 )
@@ -323,16 +495,19 @@ class RAIDArray:
     def _degraded(self, op, offset, nbytes, count, stride, priority) -> Event:
         """Service with one or more members offline.
 
-        Mirrored levels lose read parallelism (survivors serve alone).
-        Parity levels pay *reconstruction*: an access whose data lived
-        on the failed member must read the whole surviving stripe and
-        XOR, roughly doubling the media traffic spread over the
-        survivors.
+        Mirrored levels lose read parallelism: a RAID 1 survivor serves
+        alone, and a RAID 10 stripe keeps its geometry while only the
+        broken pair loses its mirror.  Parity levels pay
+        *reconstruction*: an access whose data lived on the failed
+        member must read the whole surviving stripe and XOR, roughly
+        doubling the media traffic spread over the survivors.
         """
         lvl = self.config.level
         alive = self._alive()
         total = nbytes * count
-        if lvl in (RAIDLevel.RAID1, RAIDLevel.RAID10):
+        if lvl is RAIDLevel.RAID10:
+            return self._degraded_raid10(op, offset, total, priority)
+        if lvl is RAIDLevel.RAID1:
             if op == WRITE:
                 evs = [d.submit(WRITE, offset, nbytes, count, stride, priority) for d in alive]
                 return self.env.all_of(evs)
@@ -350,6 +525,40 @@ class RAIDArray:
             ]
             return self.env.all_of(evs)
         return self._striped(op, offset, total * factor, priority, alive, len(alive))
+
+    def _degraded_raid10(self, op, offset, total, priority) -> Event:
+        """RAID 10 with a member down: data stays striped over the
+        mirror pairs, so only the pair with the failed member loses
+        redundancy — its survivor absorbs that pair's writes alone and
+        serves its reads without mirror parallelism.  (Access patterns
+        are flattened to their byte totals, the same approximation the
+        healthy striped path makes for sub-stripe geometry.)"""
+        half = self.config.ndisks // 2
+        stripe = self.config.stripe_bytes
+        if total <= stripe:
+            shares = [0] * half
+            shares[(offset // stripe) % half] = total
+        else:
+            shares = self._split_over(offset, total, half, stripe)
+        base = offset // half
+        evs = []
+        for k, share in enumerate(shares):
+            if not share:
+                continue
+            members = [
+                self.disks[i] for i in (k, k + half) if i not in self._failed
+            ]
+            if op == WRITE:
+                evs += [d.submit(WRITE, base, share, 1, None, priority) for d in members]
+            elif len(members) == 2 and share >= 2 * stripe:
+                h = share // 2
+                evs.append(members[0].submit(READ, base, h, 1, None, priority))
+                evs.append(members[1].submit(READ, base + h, share - h, 1, None, priority))
+            else:
+                evs.append(members[0].submit(READ, base, share, 1, None, priority))
+        if not evs:  # zero-byte request
+            return self.env.timeout(0.0)
+        return self.env.all_of(evs)
 
     def _split_over(self, offset: int, total: int, ways: int, stripe: int):
         """Byte share of each of ``ways`` members for a logical extent."""
@@ -485,6 +694,9 @@ class RAIDArray:
         for d in self.disks:
             d.reset()
         self._failed.clear()
+        self._data_lost = False
+        self._rebuilding.clear()
+        self.rebuild_stats = RebuildStats()
         self._dirty = 0
         self._pending_flush.clear()
         self._space_waiters.clear()

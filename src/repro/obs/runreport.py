@@ -91,6 +91,8 @@ def build_run_report(app_name: str, reports: dict, meta: Optional[dict] = None) 
             entry["replay"] = replay
         if r.sanitizer is not None:
             entry["sanitizer"] = r.sanitizer
+        if r.faults is not None:
+            entry["faults"] = r.faults
         configs[name] = entry
     doc = {
         "schema": REPORT_SCHEMA,

@@ -342,6 +342,13 @@ class Environment:
     #: instance override takes effect).
     sanitizer = None
 
+    #: active :class:`repro.simengine.rng.RngRegistry`, if any — same
+    #: class-attribute pattern as ``sanitizer``.  Stochastic model
+    #: elements (NFS retransmit jitter under fault injection) draw
+    #: from ``env.rng`` streams when one is installed and fall back to
+    #: their deterministic default (no jitter) when it is ``None``.
+    rng = None
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []

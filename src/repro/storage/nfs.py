@@ -57,6 +57,15 @@ class NFSSpec:
     commit_durable: bool = True
     #: fraction of client RAM used for the NFS data cache
     client_cache_fraction: float = 0.5
+    #: RPC timeout before the first retransmission (mount option
+    #: ``timeo``, here in seconds; Linux default 600 deciseconds over
+    #: TCP — shortened to the UDP-era default so stalls are visible at
+    #: simulated-run scale)
+    timeo_s: float = 1.1
+    #: retransmissions before a *major timeout* ("server not
+    #: responding"); hard mounts then start over, so a stalled server
+    #: slows clients down but never hangs them
+    retrans: int = 3
 
 
 @dataclass
@@ -65,6 +74,10 @@ class NFSStats:
     bytes_sent: int = 0
     bytes_received: int = 0
     commits: int = 0
+    #: RPC requests re-sent after a timeout (stalled/unresponsive server)
+    retransmits: int = 0
+    #: exhausted retrans cycles ("nfs: server ... not responding")
+    major_timeouts: int = 0
 
 
 class NFSServer:
@@ -87,6 +100,22 @@ class NFSServer:
         self.name = name
         self.threads = Resource(env, capacity=self.spec.server_threads, name=f"{name}.threads")
         self.stats = NFSStats()
+        #: absolute simulated time until which the server is stalled
+        #: (fault injection; see :meth:`stall`)
+        self.stall_until = 0.0
+
+    def stall(self, duration_s: float) -> None:
+        """Wedge the server for ``duration_s`` seconds from now.
+
+        Models an I/O-node brown-out (reboot, thrashing, hung export):
+        granted nfsd threads sit on the wedged backend, the thread pool
+        backs up, and clients retransmit until service resumes.
+        """
+        self.stall_until = max(self.stall_until, self.env.now + duration_s)
+
+    @property
+    def stalled(self) -> bool:
+        return self.env.now < self.stall_until
 
     def service(self, work_event_factory, rpc_count: int = 1):
         """Hold a server thread while performing backend work.
@@ -100,6 +129,10 @@ class NFSServer:
         req = self.threads.request()
         yield req
         try:
+            if self.env.now < self.stall_until:
+                # stalled: the granted thread sits on the wedged
+                # backend until service resumes
+                yield self.env.wake_at(self.stall_until)
             yield self.env.timeout(self.spec.server_rpc_cpu_s * rpc_count)
             ev = work_event_factory()
             if ev is not None:
@@ -111,9 +144,10 @@ class NFSServer:
         return result
 
     def reset(self) -> None:
-        """Forget thread-pool and statistics state (warm reuse)."""
+        """Forget thread-pool, stall and statistics state (warm reuse)."""
         self.threads.reset()
         self.stats = NFSStats()
+        self.stall_until = 0.0
 
 
 class NFSMount:
@@ -272,6 +306,8 @@ class NFSMount:
             send_payload + spec.rpc_header_bytes,
             count=req.count,
         )
+        if self.server.stalled:
+            yield from self._retransmit_while_stalled(send_payload, req.count)
         if req.op == "write":
             backend = lambda: self.server.export.submit_serialized_write(
                 inode, req, self.spec.server_small_op_s
@@ -291,11 +327,58 @@ class NFSMount:
         return total
 
     # -- RPC plumbing -------------------------------------------------------
+    def _retransmit_while_stalled(self, payload_bytes: int, count: int = 1):
+        """Client-side RPC timeout handling against a stalled server.
+
+        Called after a request hit the wire while the server is wedged
+        (``server.stall_until``): wait ``timeo``, re-send the request
+        bytes, back off exponentially; after ``retrans`` unanswered
+        re-sends log a *major timeout* and start over (hard-mount
+        semantics — bounded slowdown, never a hang).  The loop never
+        sleeps past the stall window, so the reply path resumes as soon
+        as the server does.
+
+        Jitter (±10% of each backoff step) comes from the seeded
+        ``env.rng`` streams installed by the fault injector; with no
+        registry installed the backoff is exact — either way the run
+        is deterministic for a fixed seed.
+        """
+        spec = self.spec
+        stall_end = self.server.stall_until
+        delay = spec.timeo_s
+        attempt = 0
+        rng = self.env.rng
+        while self.env.now + delay < stall_end:
+            yield self.env.timeout(delay)
+            wire = (payload_bytes + spec.rpc_header_bytes) * count
+            yield self.network.transfer(
+                self.node.name,
+                self.server.node.name,
+                payload_bytes + spec.rpc_header_bytes,
+                count=count,
+            )
+            self.stats.retransmits += count
+            san = self.env.sanitizer
+            if san is not None:
+                san.note_retransmit(wire)
+            attempt += 1
+            if attempt >= spec.retrans:
+                self.stats.major_timeouts += 1
+                attempt = 0
+                delay = spec.timeo_s
+            else:
+                delay *= 2.0
+            if rng is not None:
+                jitter = rng.stream(f"nfs.retrans.{self.name}").random()
+                delay *= 0.9 + 0.2 * float(jitter)
+
     def _meta_rpc(self, backend_factory):
         yield self.env.timeout(self.spec.getattr_s + self.spec.client_rpc_cpu_s)
         yield self.network.transfer(
             self.node.name, self.server.node.name, self.spec.rpc_header_bytes
         )
+        if self.server.stalled:
+            yield from self._retransmit_while_stalled(0)
         result = yield self.env.process(self.server.service(backend_factory))
         yield self.network.transfer(
             self.server.node.name, self.node.name, self.spec.rpc_header_bytes
@@ -318,6 +401,8 @@ class NFSMount:
                 send_bytes_per_rpc + self.spec.rpc_header_bytes,
                 count=w,
             )
+            if self.server.stalled:
+                yield from self._retransmit_while_stalled(send_bytes_per_rpc, w)
             done.append(
                 self.env.process(
                     self._server_window(w, sent, reply_bytes_per_rpc, server_window_factory)

@@ -32,6 +32,7 @@ class BTIOApplication:
         from ..core.methodology import AppRun
 
         tracer = IOTracer()
+        system.last_tracer = tracer
         res = run_btio(system, self.config, tracer=tracer)
         return AppRun(
             tracer=tracer,
@@ -56,6 +57,7 @@ class MadBenchApplication:
         from ..core.methodology import AppRun
 
         tracer = IOTracer()
+        system.last_tracer = tracer
         res = run_madbench(system, self.config, tracer=tracer)
         nb = self.config.block_bytes * self.config.nbin * self.config.nprocs
         return AppRun(

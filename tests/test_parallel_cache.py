@@ -263,3 +263,109 @@ def test_characterization_identical_with_fastpath_disabled(monkeypatch):
     slow = small_methodology()
     slow.characterize()
     assert table_csvs(fast) == table_csvs(slow)
+
+
+# ----------------------------------------------------------------------
+# worker-crash recovery
+# ----------------------------------------------------------------------
+_PARENT_PID = __import__("os").getpid()
+
+
+def _fail_in_worker(x):
+    """Raises in every pool worker, succeeds in the parent process."""
+    import os
+
+    if os.getpid() != _PARENT_PID:
+        raise RuntimeError("injected worker crash")
+    return x * x
+
+
+def _always_boom(_x):
+    raise RuntimeError("genuine failure")
+
+
+def _crashy_characterize(task):
+    import os
+
+    if os.getpid() != _PARENT_PID:
+        raise RuntimeError("injected worker crash")
+    return _ORIG_CHARACTERIZE(task)
+
+
+from repro.core.methodology import _characterize_unit as _ORIG_CHARACTERIZE  # noqa: E402
+
+
+def test_run_tasks_crash_retries_then_serial_fallback(caplog, monkeypatch):
+    import logging
+
+    import repro.core.parallel as par
+
+    monkeypatch.setattr(par, "RETRY_BACKOFF_S", 0.01)
+    with caplog.at_level(logging.WARNING, logger="repro.core.parallel"):
+        out = run_tasks(_fail_in_worker, list(range(6)), n_jobs=2)
+    assert out == [x * x for x in range(6)]
+    assert "retrying" in caplog.text
+    assert "serial fallback" in caplog.text
+
+
+def test_run_tasks_genuine_error_raises_from_serial_fallback(monkeypatch):
+    import repro.core.parallel as par
+
+    monkeypatch.setattr(par, "RETRY_BACKOFF_S", 0.01)
+    with pytest.raises(RuntimeError, match="genuine failure"):
+        run_tasks(_always_boom, [1, 2], n_jobs=2)
+
+
+def test_characterize_bit_identical_after_worker_crashes(monkeypatch):
+    """Crashed characterization shards must recompute to the exact same
+    tables via the retry/serial-fallback path."""
+    import repro.core.methodology as meth_mod
+    import repro.core.parallel as par
+
+    monkeypatch.setattr(par, "RETRY_BACKOFF_S", 0.01)
+    baseline = small_methodology()
+    baseline.characterize(n_jobs=1)
+    crashy = small_methodology()
+    monkeypatch.setattr(meth_mod, "_characterize_unit", _crashy_characterize)
+    crashy.characterize(n_jobs=2)
+    assert table_csvs(crashy) == table_csvs(baseline)
+
+
+# ----------------------------------------------------------------------
+# corrupt cache entries
+# ----------------------------------------------------------------------
+def test_cache_quarantines_corrupt_entry_and_recomputes(tmp_path, caplog):
+    import logging
+
+    cache = TableCache(tmp_path)
+    m = small_methodology()
+    m.characterize(cache=cache)
+    key = m.cache_key("jbod", cache)
+    victim = cache.entry_dir(key) / "jbod_localfs.csv"
+    victim.write_text(
+        "op,block_bytes,access,mode,rate_Bps\nread,notanumber,global,buffered,1\n"
+    )
+    with caplog.at_level(logging.WARNING, logger="repro.core.tablecache"):
+        assert cache.load(key, "jbod", m.levels) is None
+    assert "quarantined" in caplog.text
+    # the corrupt entry moved aside and no longer counts as cached
+    assert any(".corrupt" in p.name for p in tmp_path.iterdir())
+    assert key not in cache.entries()
+    # recharacterization recomputes bit-identical tables into a fresh entry
+    fresh = small_methodology()
+    fresh.characterize(cache=cache)
+    assert table_csvs(fresh) == table_csvs(m)
+    assert key in cache.entries()
+
+
+def test_cache_quarantine_numbers_duplicate_destinations(tmp_path):
+    cache = TableCache(tmp_path)
+    for _ in range(2):
+        m = small_methodology()
+        m.characterize(cache=cache)
+        key = m.cache_key("jbod", cache)
+        bad = cache.entry_dir(key) / "jbod_localfs.csv"
+        bad.write_text("op,block_bytes,access,mode,rate_Bps\nread,x,global,buffered,1\n")
+        assert cache.load(key, "jbod", m.levels) is None
+    corrupt = [p.name for p in tmp_path.iterdir() if ".corrupt" in p.name]
+    assert len(corrupt) == 2

@@ -1,17 +1,17 @@
-"""Failure injection: degraded-mode RAID service and data loss."""
+"""Failure injection: degraded-mode RAID service, rebuilds and data loss."""
 
 import pytest
 
 from repro.simengine import Environment
-from repro.hardware.raid import RAIDArray, RAIDConfig, RAIDLevel
+from repro.hardware.raid import DataLossError, RAIDArray, RAIDConfig, RAIDLevel
 from repro.storage.base import KiB, MiB
 from conftest import SMALL_DISK
 
 
-def make(level, ndisks, write_back=False):
+def make(level, ndisks, write_back=False, **cfg):
     env = Environment()
     return env, RAIDArray(env, RAIDConfig(level=level, ndisks=ndisks, disk=SMALL_DISK,
-                                          write_back=write_back))
+                                          write_back=write_back, **cfg))
 
 
 class TestSurvival:
@@ -110,3 +110,98 @@ class TestDegradedPerformance:
         env, arr = make(RAIDLevel.RAID5, 5)
         arr.fail_disk(3)
         assert arr.failed_disks == frozenset({3})
+
+class TestRebuild:
+    def test_raid5_rebuild_completes_and_repairs(self):
+        env, arr = make(RAIDLevel.RAID5, 5)
+        arr.fail_disk(1)
+        ev = arr.start_rebuild(1, rebuild_bytes=16 * MiB)
+        env.run(ev)
+        assert ev.value == "rebuilt"
+        assert not arr.degraded and not arr.rebuilding
+        assert arr.rebuild_stats.completed == 1
+        # parity reconstruction reads the extent from all 4 survivors
+        assert arr.rebuild_stats.bytes_read == 4 * 16 * MiB
+        assert arr.rebuild_stats.bytes_written == 16 * MiB
+
+    def test_raid10_rebuild_copies_one_mirror(self):
+        env, arr = make(RAIDLevel.RAID10, 4)
+        arr.fail_disk(0)
+        ev = arr.start_rebuild(0, rebuild_bytes=16 * MiB)
+        env.run(ev)
+        assert ev.value == "rebuilt"
+        # mirror copy: one spindle read, not a whole-array sweep
+        assert arr.rebuild_stats.bytes_read == 16 * MiB
+
+    def test_rebuild_rate_cap_paces_the_copy(self):
+        env, arr = make(RAIDLevel.RAID5, 5)
+        arr.fail_disk(0)
+        env.run(arr.start_rebuild(0, rebuild_bytes=32 * MiB, rate_Bps=16 * MiB))
+        assert env.now >= 2.0  # 32 MiB at <= 16 MiB/s
+
+    def test_second_failure_aborts_rebuild(self):
+        env, arr = make(RAIDLevel.RAID5, 5)
+        arr.fail_disk(0)
+        ev = arr.start_rebuild(0, rebuild_bytes=64 * MiB)
+
+        def second_failure():
+            yield env.timeout(0.01)
+            arr.fail_disk(2)
+
+        env.process(second_failure())
+        env.run(ev)
+        assert ev.value == "data-loss"
+        assert arr.rebuild_stats.aborted == 1
+        assert arr.data_lost
+        with pytest.raises(DataLossError):
+            arr.submit("read", 0, 4 * KiB)
+
+    def test_start_rebuild_validates_state(self):
+        env, arr = make(RAIDLevel.RAID5, 5)
+        with pytest.raises(ValueError, match="has not failed"):
+            arr.start_rebuild(0)
+        arr.fail_disk(0)
+        arr.start_rebuild(0, rebuild_bytes=4 * MiB)
+        with pytest.raises(ValueError, match="already rebuilding"):
+            arr.start_rebuild(0)
+
+
+class TestFailDiskInFlight:
+    """fail_disk with write-back requests in flight must never strand a
+    held resource request (the ISSUE's regression case)."""
+
+    def test_unsurvivable_failure_wakes_blocked_writer(self):
+        env, arr = make(RAIDLevel.RAID0, 2, write_back=True,
+                        cache_bytes=1 * MiB)
+        done = arr.submit("write", 0, 4 * MiB)  # larger than the cache
+
+        def failure():
+            yield env.timeout(1e-4)
+            arr.fail_disk(1)
+
+        env.process(failure())
+        with pytest.raises(DataLossError, match="lost data"):
+            env.run(done)
+
+    def test_unsurvivable_failure_fires_flush_event(self):
+        env, arr = make(RAIDLevel.RAID0, 2, write_back=True)
+        env.run(arr.submit("write", 0, 2 * MiB, count=4))
+        arr.fail_disk(0)
+        env.run(arr.flush())  # must fire, not hang on dropped dirty data
+        assert arr.dirty_bytes == 0
+        with pytest.raises(DataLossError):
+            arr.submit("read", 0, 4 * KiB)
+
+    def test_survivable_failure_flusher_continues_degraded(self):
+        env, arr = make(RAIDLevel.RAID5, 5, write_back=True)
+        done = arr.submit("write", 0, 2 * MiB, count=4)
+
+        def failure():  # hits while the flusher is mid-drain
+            yield env.timeout(1e-4)
+            arr.fail_disk(3)
+
+        env.process(failure())
+        env.run(done)
+        env.run(arr.flush())
+        assert arr.dirty_bytes == 0
+        assert arr.degraded and arr.survives_failures

@@ -327,5 +327,64 @@ def test_cli_exit_codes_and_json(tmp_path, capsys):
 def test_all_rules_documented():
     assert set(RULES) == {
         "wall-clock", "unseeded-random", "set-iteration",
-        "resource-release", "unit-mix",
+        "resource-release", "unit-mix", "fault-rng",
     }
+
+
+# ---------------------------------------------------------------------------
+# fault-rng
+
+FAULTS_PATH = "src/repro/faults/fixture.py"
+
+
+def test_fault_rng_flags_random_import_in_faults():
+    fs = findings("import random\n", path=FAULTS_PATH)
+    assert "fault-rng" in rules_of(fs)
+
+
+def test_fault_rng_flags_from_import_in_faults():
+    fs = findings("from random import choice\n", path=FAULTS_PATH)
+    assert "fault-rng" in rules_of(fs)
+
+
+def test_fault_rng_flags_seeded_random_in_faults():
+    # Even a *seeded* stdlib Random is banned inside repro.faults:
+    # fault jitter must come from the schedule-seeded env.rng streams.
+    fs = findings(
+        """
+        import random
+
+        def jitter():
+            rng = random.Random(42)
+            return rng.random()
+        """,
+        path=FAULTS_PATH,
+    )
+    assert "fault-rng" in rules_of(fs)
+
+
+def test_fault_rng_quiet_outside_faults_package():
+    # The same seeded code in another sim package is fine (only the
+    # unseeded-random rule polices those, and a seeded Random passes).
+    fs = findings(
+        """
+        import random
+
+        def jitter():
+            rng = random.Random(42)
+            return rng.random()
+        """,
+        path=SIM_PATH,
+    )
+    assert "fault-rng" not in rules_of(fs)
+
+
+def test_fault_rng_quiet_on_env_rng_streams():
+    fs = findings(
+        """
+        def jitter(env, name):
+            return env.rng.stream(name).random()
+        """,
+        path=FAULTS_PATH,
+    )
+    assert fs == []
