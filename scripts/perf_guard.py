@@ -32,6 +32,15 @@ from pathlib import Path
 GUARDED_KEYS = {
     "characterize": ("characterize_serial",),
     "evaluate": ("evaluate_full",),
+    # kernel microbench scenarios: a fixed event mix, so wall time is
+    # the inverse of events/second — the sub-millisecond uncontended
+    # scenario is left unguarded (pure timer noise at that scale)
+    "kernel": (
+        "kernel_total",
+        "kernel_timeout_chain",
+        "kernel_request_release",
+        "kernel_contended_rotation",
+    ),
 }
 
 #: benchmark name -> (base timing, instrumented timing) pairs checked
@@ -73,6 +82,18 @@ def check(baseline_path: str, fresh_path: str, factor: float) -> list[str]:
             f"{base_faults!r}, fresh {fresh_faults!r}) — skipping "
             f"{fresh_path}: fault-mode timings are never compared to "
             f"healthy baselines"
+        )
+        return []
+    base_analytic = baseline.get("params", {}).get("analytic", False)
+    fresh_analytic = fresh.get("params", {}).get("analytic", False)
+    if base_analytic != fresh_analytic:
+        # the analytic kernel mode trades calendar events for replay
+        # arithmetic — its timings are a different regime, never
+        # compared to exact-mode baselines
+        print(
+            f"perf-guard: analytic modes differ (baseline "
+            f"{base_analytic!r}, fresh {fresh_analytic!r}) — skipping "
+            f"{fresh_path}"
         )
         return []
     problems = []

@@ -6,8 +6,12 @@ simlint (the static half of :mod:`repro.analysis`) catches the
 :class:`~repro.clusters.builder.System` and verifies, while the
 simulation runs and at teardown:
 
-* **event-time monotonicity** — the calendar never pops an event
-  scheduled before the current clock;
+* **event-time monotonicity** — no event is *scheduled* before the
+  current clock (checked at insert: every calendar entry, whether from
+  ``Timeout``/``Wake``/``Initialize`` construction, ``succeed``/
+  ``fail`` triggering or the batch ``schedule_many`` path, funnels
+  through ``Environment._push``, which the sanitizer interposes) and
+  the calendar never pops one scheduled before the clock;
 * **deterministic tie-breaking** — heap pop keys ``(time, priority,
   seq)`` strictly increase whenever no new event was scheduled since
   the previous pop (a callback may legitimately insert an
@@ -118,6 +122,7 @@ class SimSanitizer:
         self.env: Environment = system.env
         self.violations: list[Violation] = []
         self.events_checked = 0
+        self.events_scheduled = 0
         self._attached = False
         self._last_key: Optional[tuple[float, int, int]] = None
         self._last_seq: Optional[int] = None
@@ -153,6 +158,10 @@ class SimSanitizer:
         env.sanitizer = self
         env.step = self._checked_step  # type: ignore[method-assign]
         env.reset = self._checked_reset  # type: ignore[method-assign]
+        # the single scheduling funnel: interposing here observes every
+        # calendar insert (schedule_many detects the instance override
+        # and routes each entry through it)
+        env._push = self._checked_push  # type: ignore[method-assign]
         self._attached = True
         self._rebaseline()
         return self
@@ -160,7 +169,7 @@ class SimSanitizer:
     def detach(self) -> None:
         """Remove every interceptor, returning the environment to its
         uninstrumented state."""
-        for attr in ("sanitizer", "step", "reset"):
+        for attr in ("sanitizer", "step", "reset", "_push"):
             self.env.__dict__.pop(attr, None)
         self._attached = False
 
@@ -180,6 +189,17 @@ class SimSanitizer:
         self.retransmit_bytes = 0
 
     # -- calendar interception ---------------------------------------------
+    def _checked_push(self, when: float, priority: int, event: Any) -> None:
+        env = self.env
+        if when < env._now:
+            self._record(
+                "monotonicity",
+                f"{event!r} scheduled at t={when!r}, before the clock "
+                f"reached t={env._now!r}",
+            )
+        self.events_scheduled += 1
+        Environment._push(env, when, priority, event)
+
     def _checked_step(self) -> None:
         env = self.env
         queue = env._queue
@@ -392,6 +412,7 @@ class SimSanitizer:
             "enabled": True,
             "checks": list(CHECKS),
             "events_checked": self.events_checked,
+            "events_scheduled": self.events_scheduled,
             "violations": [v.as_dict() for v in self.violations],
             "counters": {
                 "iolib_bytes": dict(self.iolib_bytes),

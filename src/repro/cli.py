@@ -308,6 +308,48 @@ def cmd_perf(args) -> int:
     configs = _configs(args.configs)
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
 
+    try:
+        # the CPUs this process may actually use (cgroup/affinity aware)
+        cpu_effective = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpu_effective = os.cpu_count()
+    host = {
+        "cpu_count": os.cpu_count(),
+        "cpu_effective": cpu_effective,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+    from .analysis.sanitizer import sanitize_enabled
+    from .simengine import analytic as _analytic
+    from .simengine.bench import kernel_microbench
+
+    common_params = {
+        "sanitize": sanitize_enabled(),
+        "analytic": bool(_analytic.ANALYTIC),
+        "faults": None,
+    }
+
+    # ---- kernel microbenchmark: raw event throughput of the DES core
+    kb = kernel_microbench()
+    print(f"  kernel microbench      {kb['wall_s']:8.2f}s  "
+          f"({kb['events_per_s']:,} events/s)", file=sys.stderr)
+    kernel_timings = {"kernel_total": kb["wall_s"]}
+    for scen, row in kb["scenarios"].items():
+        kernel_timings[f"kernel_{scen}"] = row["wall_s"]
+    kernel_result = {
+        "benchmark": "kernel",
+        "host": host,
+        "params": {**common_params, "repeats": kb["repeats"]},
+        "timings_s": kernel_timings,
+        "scenarios": kb["scenarios"],
+        "events": kb["events"],
+        "events_per_s": kb["events_per_s"],
+    }
+    kernel_out = Path(args.kernel_out)
+    kernel_out.write_text(json.dumps(kernel_result, indent=2) + "\n")
+    print(f"  -> wrote {kernel_out}", file=sys.stderr)
+
     def csvs(m: Methodology) -> dict:
         return {
             name: {level: t.to_csv() for level, t in tables.items()}
@@ -345,28 +387,13 @@ def cmd_perf(args) -> int:
     print(f"  evaluate serial        {eval_serial_s:8.2f}s", file=sys.stderr)
     print(f"  evaluate parallel      {eval_parallel_s:8.2f}s", file=sys.stderr)
 
-    try:
-        # the CPUs this process may actually use (cgroup/affinity aware)
-        cpu_effective = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        cpu_effective = os.cpu_count()
-    host = {
-        "cpu_count": os.cpu_count(),
-        "cpu_effective": cpu_effective,
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-    }
-
-    from .analysis.sanitizer import sanitize_enabled
-
     result = {
         "benchmark": "characterize",
         "host": host,
         "params": {
             "configs": sorted(configs),
             "quick": bool(args.quick),
-            "sanitize": sanitize_enabled(),
-            "faults": None,
+            **common_params,
             "n_jobs": jobs,
             "levels": list(m_serial.levels),
             "block_sizes": list(m_serial.block_sizes),
@@ -462,8 +489,7 @@ def cmd_perf(args) -> int:
         "params": {
             "configs": sorted(configs),
             "quick": bool(args.quick),
-            "sanitize": sanitize_enabled(),
-            "faults": None,
+            **common_params,
             "apps": sorted(eval_apps),
         },
         "timings_s": {
@@ -491,6 +517,45 @@ def cmd_perf(args) -> int:
         print("ERROR: fastpath/warm-start used tables differ from full replay",
               file=sys.stderr)
         return 1
+
+    if args.profile:
+        # a separate profiled characterization run, so the profiler's
+        # own overhead never leaks into the timings written above
+        import cProfile
+        import pstats
+
+        pr = cProfile.Profile()
+        m_prof = Methodology(dict(configs), **sweep)
+        pr.enable()
+        m_prof.characterize(n_jobs=1)
+        pr.disable()
+        st = pstats.Stats(pr)
+        st.sort_stats("cumulative")
+        rows = []
+        for func in st.fcn_list[:25]:
+            cc, nc, tt, ct, _callers = st.stats[func]
+            filename, line, name = func
+            rows.append({
+                "function": f"{filename}:{line}({name})",
+                "ncalls": nc,
+                "tottime_s": round(tt, 4),
+                "cumtime_s": round(ct, 4),
+            })
+        prof_result = {
+            "benchmark": "profile",
+            "host": host,
+            "params": {
+                "configs": sorted(configs),
+                "quick": bool(args.quick),
+                **common_params,
+            },
+            "total_tt_s": round(st.total_tt, 4),
+            "top_cumulative": rows,
+        }
+        prof_out = Path(args.profile_out)
+        prof_out.write_text(json.dumps(prof_result, indent=2) + "\n")
+        print(f"  -> wrote {prof_out} (top {len(rows)} by cumulative time)",
+              file=sys.stderr)
     return 0
 
 
@@ -531,6 +596,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "FILE (JSON; see repro.faults.FaultSchedule) "
                              "during evaluation and print a degraded-mode "
                              "report per configuration")
+        sp.add_argument("--analytic", action="store_true",
+                        help="enable the analytic fast-forward kernel mode "
+                             "(slice rings + vectorized scatter costs; "
+                             "bit-identical tables, also REPRO_ANALYTIC=1)")
 
     c = sub.add_parser("characterize", help="phase 1: build performance tables")
     common(c)
@@ -582,6 +651,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="JSON results file (default: BENCH_characterize.json)")
     pf.add_argument("--eval-out", default="BENCH_evaluate.json",
                     help="evaluation-benchmark JSON file (default: BENCH_evaluate.json)")
+    pf.add_argument("--kernel-out", default="BENCH_kernel.json",
+                    help="kernel-microbenchmark JSON file (default: BENCH_kernel.json)")
+    pf.add_argument("--profile", action="store_true",
+                    help="additionally cProfile a serial characterization run "
+                         "and write the top-25 functions by cumulative time")
+    pf.add_argument("--profile-out", default="PROFILE_perf.json",
+                    help="profile JSON file (default: PROFILE_perf.json)")
     pf.set_defaults(func=cmd_perf)
 
     ln = sub.add_parser("lint", help="simlint static checks (determinism, "
@@ -605,6 +681,14 @@ def main(argv: list[str] | None = None) -> int:
 
         # propagate to worker processes spawned by run_tasks
         os.environ["REPRO_SANITIZE"] = "1"
+    if getattr(args, "analytic", False):
+        import os
+
+        from .simengine import analytic
+
+        # flip the live flag for this process and propagate to workers
+        analytic.ANALYTIC = True
+        os.environ["REPRO_ANALYTIC"] = "1"
     return args.func(args)
 
 

@@ -28,6 +28,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..simengine import Environment, Event, Resource, hold_quantum
+from ..simengine import analytic as _analytic
+from ..simengine import resources as _kernel
+from ..simengine.resources import FastHold
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 __all__ = ["DiskSpec", "Disk", "READ", "WRITE"]
 
@@ -73,6 +81,46 @@ class DiskStats:
     busy_s: float = 0.0
     readahead_hits: int = 0
     seeks: int = 0
+
+
+class _FastServe(FastHold):
+    """State-machine serve path — the callback twin of ``Disk._serve``.
+
+    Same calendar entries, same float-operation order on the stats and
+    the cost model; no Process/generator per request.
+    """
+
+    __slots__ = ("disk", "op", "offset", "nbytes", "count", "stride")
+
+    def __init__(self, disk: "Disk", op, offset, nbytes, count, stride, priority):
+        self.disk = disk
+        self.op = op
+        self.offset = offset
+        self.nbytes = nbytes
+        self.count = count
+        self.stride = nbytes if stride is None else stride
+        super().__init__(disk.env, [disk.head], priority)
+
+    def _start(self, event: Event) -> None:
+        self._acquire()
+
+    def _granted(self) -> None:
+        disk = self.disk
+        count = self.count
+        total = disk.service_time(self.op, self.offset, self.nbytes, count, self.stride)
+        stats = disk.stats
+        stats.busy_s += total
+        total_bytes = self.nbytes * count
+        if self.op == READ:
+            stats.reads += count
+            stats.bytes_read += total_bytes
+        else:
+            stats.writes += count
+            stats.bytes_written += total_bytes
+        self._begin_hold(total, disk.QUANTUM_S)
+
+    def _done(self) -> None:
+        self.result.succeed(self.nbytes * self.count)
 
 
 class Disk:
@@ -175,11 +223,93 @@ class Disk:
                 self._ra_start = offset
                 self._ra_end = self._head_pos + self.spec.readahead_bytes
             return t
+        if (
+            count > 8
+            and _np is not None
+            and _analytic.ANALYTIC
+            and stride > nbytes
+            and offset >= 0
+            and offset + stride * (count - 1) + nbytes <= self.spec.capacity_bytes
+        ):
+            return self._scatter_time_vec(op, offset, nbytes, count, stride)
         t = 0.0
         off = offset
         for _ in range(count):
             t += self._one_op_time(op, off % self.spec.capacity_bytes, nbytes)
             off += stride
+        return t
+
+    def _scatter_time_vec(self, op, offset, nbytes, count, stride):
+        """Vectorized scatter cost — bit-identical to the scalar loop.
+
+        Only reached for a forward constant-gap scatter that never
+        wraps the capacity: there the seek distance is the same for
+        every operation and the readahead interactions are periodic,
+        so every per-op time is a closed-form elementwise expression
+        (each float op matches the scalar path's op on the same
+        operands) accumulated in the original sequential order.
+        """
+        spec = self.spec
+        # the first op sees the pre-existing head position and
+        # readahead window — run it through the exact scalar path
+        t = self._one_op_time(op, offset, nbytes)
+        n = count - 1
+        if n == 0:
+            return t
+        offs = offset + stride * _np.arange(1, count, dtype=_np.int64)
+        frac = offs / spec.capacity_bytes
+        rate = spec.outer_rate_Bps - (spec.outer_rate_Bps - spec.inner_rate_Bps) * frac
+        cmd = spec.command_overhead_s
+        xfer = nbytes / rate
+        # the head sits at the previous op's end, so the gap (and the
+        # seek time) is the same constant for every remaining op
+        gap = stride - nbytes
+        seek = spec.track_to_track_s + (spec.avg_seek_s - spec.track_to_track_s) * (
+            (gap / spec.capacity_bytes) ** 0.5
+        )
+        full = seek + spec.half_rotation_s
+        if 0 < gap <= self.SHORT_SKIP_BYTES:
+            skip = gap / rate
+            skip_ok = skip <= full
+            pos = _np.where(skip_ok, skip, full)
+            seek_mask = ~skip_ok
+        else:
+            pos = _np.full(n, full)
+            seek_mask = _np.ones(n, dtype=bool)
+        ends = offs + nbytes
+        if op == READ:
+            # a miss re-anchors the window at its own offset, buying
+            # floor(readahead / stride) hits before the next miss —
+            # the hit/miss pattern is a pure function of the indices
+            # op0 left ra_start <= offset on every path, so only the
+            # window *end* decides hits; ``ends`` is increasing, so the
+            # pre-existing window serves a prefix and the periodic
+            # re-anchoring takes over at the first miss
+            beyond = ends > self._ra_end
+            if beyond.any():
+                k = _np.arange(n, dtype=_np.int64)
+                k0 = int(beyond.argmax())
+                period = spec.readahead_bytes // stride + 1
+                miss = (k >= k0) & ((k - k0) % period == 0)
+            else:
+                miss = beyond
+            t_ops = _np.where(miss, (cmd + pos) + xfer, cmd + xfer)
+            nmiss = int(_np.count_nonzero(miss))
+            self.stats.readahead_hits += n - nmiss
+            self.stats.seeks += int(_np.count_nonzero(seek_mask & miss))
+            if nmiss:
+                last = int(offs[_np.nonzero(miss)[0][-1]])
+                self._ra_start = last
+                self._ra_end = last + nbytes + spec.readahead_bytes
+        else:
+            t_ops = (cmd + pos) + xfer
+            self.stats.seeks += int(_np.count_nonzero(seek_mask))
+            if self._ra_start < int(ends[-1]) and int(offs[0]) < self._ra_end:
+                if bool(((self._ra_start < ends) & (offs < self._ra_end)).any()):
+                    self._ra_start = self._ra_end = -1
+        self._head_pos = int(offs[-1]) + nbytes
+        for x in t_ops.tolist():
+            t += x
         return t
 
     # -- DES interface -----------------------------------------------------
@@ -193,6 +323,8 @@ class Disk:
         priority: int = 0,
     ) -> Event:
         """Serve a (possibly bulk) request; the event fires at completion."""
+        if _kernel.FAST_HOLD:
+            return _FastServe(self, op, offset, nbytes, count, stride, priority).result
         return self.env.process(
             self._serve(op, offset, nbytes, count, stride, priority),
             name=f"{self.name}.{op}",

@@ -20,6 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..simengine import Environment, Event, Resource, hold_quantum
+from ..simengine import resources as _kernel
+from ..simengine.core import Timeout, Wake
+from ..simengine.resources import FastHold
 
 __all__ = ["LinkSpec", "Link", "Network", "GIGABIT", "TEN_GIGABIT"]
 
@@ -42,6 +45,90 @@ class LinkSpec:
 
 GIGABIT = LinkSpec()
 TEN_GIGABIT = LinkSpec(raw_bandwidth_Bps=1250.0 * 1000 * 1000, latency_s=30e-6)
+
+
+class _FastSend(FastHold):
+    """State-machine twin of ``Link._send`` (same entries, no process)."""
+
+    __slots__ = ("link", "nbytes", "count")
+
+    def __init__(self, link: "Link", nbytes: int, count: int, priority: int):
+        self.link = link
+        self.nbytes = nbytes
+        self.count = count
+        super().__init__(link.env, [link.channel], priority)
+
+    def _start(self, event) -> None:
+        link = self.link
+        env = self.env
+        if env._now < link._down_until:
+            # ride out the outage; re-check on wake (it may have been
+            # extended), exactly like the generator's while loop
+            Wake(env, link._down_until).callbacks.append(self._start)
+            return
+        self._acquire()
+
+    def _granted(self) -> None:
+        link = self.link
+        total = link.hold_time(self.nbytes, self.count)
+        link.busy_s += total
+        link.bytes_carried += self.nbytes * self.count
+        link.messages += self.count
+        self._begin_hold(total, link.QUANTUM_S)
+
+    def _done(self) -> None:
+        # propagation latency of the tail message (pipelined with the rest)
+        Timeout(self.env, self.link.effective_latency_s).callbacks.append(
+            self._latency_done
+        )
+
+    def _latency_done(self, ev) -> None:
+        self.result.succeed(self.nbytes * self.count)
+
+
+class _FastRoute(FastHold):
+    """State-machine twin of ``Network._route``: uplink + downlink held
+    concurrently, released in reverse order, latency is the max."""
+
+    __slots__ = ("up", "down", "nbytes", "count")
+
+    def __init__(self, up: "Link", down: "Link", nbytes: int, count: int, priority: int):
+        self.up = up
+        self.down = down
+        self.nbytes = nbytes
+        self.count = count
+        super().__init__(up.env, [up.channel, down.channel], priority)
+
+    def _start(self, event) -> None:
+        env = self.env
+        up, down = self.up, self.down
+        if env._now < up._down_until or env._now < down._down_until:
+            Wake(env, max(up._down_until, down._down_until)).callbacks.append(
+                self._start
+            )
+            return
+        self._acquire()
+
+    def _granted(self) -> None:
+        up, down = self.up, self.down
+        nb = self.nbytes * self.count
+        total = up.hold_time(self.nbytes, self.count)
+        up.busy_s += total
+        down.busy_s += total
+        up.bytes_carried += nb
+        down.bytes_carried += nb
+        up.messages += self.count
+        down.messages += self.count
+        self._begin_hold(total, Link.QUANTUM_S)
+
+    def _done(self) -> None:
+        Timeout(
+            self.env,
+            max(self.up.effective_latency_s, self.down.effective_latency_s),
+        ).callbacks.append(self._latency_done)
+
+    def _latency_done(self, ev) -> None:
+        self.result.succeed(self.nbytes * self.count)
 
 
 class Link:
@@ -106,6 +193,8 @@ class Link:
         """Move ``count`` messages of ``nbytes`` each across the link."""
         if nbytes < 0 or count < 1:
             raise ValueError("invalid transfer geometry")
+        if _kernel.FAST_HOLD:
+            return _FastSend(self, nbytes, count, priority).result
         return self.env.process(
             self._send(nbytes, count, priority), name=f"{self.name}.xfer"
         )
@@ -209,6 +298,10 @@ class Network:
             raise KeyError(f"unknown endpoint in transfer {src!r}->{dst!r}")
         if src == dst:
             return self.env.timeout(1e-6 + nbytes * count / (2000.0 * MiB))
+        if _kernel.FAST_HOLD:
+            return _FastRoute(
+                self.uplinks[src], self.downlinks[dst], nbytes, count, priority
+            ).result
         return self.env.process(self._route(src, dst, nbytes, count, priority))
 
     def _route(self, src, dst, nbytes, count, priority):

@@ -1,0 +1,343 @@
+"""Opt-in analytic fast-forward for steady calendar windows.
+
+Enabled with ``REPRO_ANALYTIC=1`` (or ``repro ... --analytic``); off by
+default.  Two accelerations live here:
+
+**Slice rings** (:class:`SliceRing`) — the dominant event producer in a
+contended run is the quantum round-robin: every holder of a busy
+resource sleeps one quantum, releases, re-requests, and the next FIFO
+waiter grants, at roughly three calendar entries per quantum.  The
+rotation among a *stable* set of :class:`~repro.simengine.resources.FastHold`
+holders is fully deterministic: boundary times are the float chain
+``t += quantum`` in FIFO rotation order and each member's remaining
+hold shrinks by exactly the same repeated subtraction the sliced loop
+performs.  A ring therefore virtualizes the rotation — the calendar
+carries a *single* :class:`~repro.simengine.core.Wake` at the first
+completion time, computed by replaying the per-turn float operations in
+plain Python — and dissolves back to exact event-by-event slicing the
+moment anything external touches an involved resource.  Timestamps
+produced this way are bit-identical to the sliced path because they
+replay the identical float chains; the kernel determinism suite
+byte-compares the resulting tables.
+
+The rotation revolves around a single *pivot* — the one contended
+resource — which may sit at any position of a member's resource list
+(an NFS reply contends on the server uplink, the first resource of its
+route; a data transfer contends on the receiver downlink, the last).
+Resources *before* the pivot are re-granted instantly at every virtual
+boundary and stay effectively held throughout the rotation; resources
+*after* it are released while the member waits and re-acquired only
+when the pivot grants, so they must be idle at adoption.
+
+Steady-window criterion (all must hold, checked at adoption):
+
+* the pivot is a plain FIFO :class:`Resource` of capacity 1 with no
+  foreign arrival watchers, and it is the only contended resource of
+  any member;
+* the holder is a ``FastHold`` with more than one quantum of hold
+  left;
+* every queued request is a *re-acquire* of a ``FastHold`` rotation
+  member (first-time acquirers have unevaluated service times and side
+  effects at grant, so they make the window non-steady);
+* each member's resources before its pivot are held with empty queues,
+  and those after it are completely idle.
+
+Dissolution is driven by synchronous request hooks: while a ring is
+live every involved resource carries a hook that runs at the top of
+``Resource.request()``, *before* the request observes any state.  The
+hook rebuilds the exact rotation state for the arrival time — current
+holder (with its in-flight slice re-scheduled), waiter order, remaining
+holds, held/idle side resources — so the arriving request sees
+precisely what the event-by-event rotation would have shown it.  Rings
+never form across ``PriorityResource`` queues or generator
+(``hold_quantum``) holders.
+
+**Vectorized scatter service times** — ``Disk.service_time`` evaluates
+strided/random scatters one operation at a time.  With the flag on and
+the pattern free of readahead/wraparound interactions the per-op times
+are computed elementwise with numpy (IEEE-identical to the scalar
+expressions) and accumulated in the original sequential order; see
+``hardware/disk.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .core import Event, Wake
+
+__all__ = ["ANALYTIC", "SliceRing", "try_adopt"]
+
+#: master switch — ``REPRO_ANALYTIC=1`` or ``--analytic``; modules read
+#: this attribute at run time so tests and the CLI can flip it.
+ANALYTIC = os.environ.get("REPRO_ANALYTIC", "") in ("1", "true", "yes")
+
+#: injected by ``resources`` at import (avoids a circular import);
+#: rings only ever form on exactly this class — subclasses may order
+#: their queue differently
+_RESOURCE_CLS = None
+_REQUEST_CLS = None
+
+
+def try_adopt(holder, remaining: float) -> bool:
+    """Form a :class:`SliceRing` around ``holder`` if the current
+    contention is a steady window; returns False to fall back to exact
+    event-by-event slicing.
+    """
+    resources = holder.resources
+    pivot = None
+    for r in resources:
+        if r.queue:
+            if pivot is not None:
+                return False  # two contended resources — no single rotation
+            pivot = r
+    if (
+        pivot is None
+        or type(pivot) is not _RESOURCE_CLS
+        or pivot.capacity != 1
+        or pivot._arrival_watchers
+    ):
+        return False
+    ph = 0
+    for j, r in enumerate(resources):
+        if r is pivot:
+            ph = j
+            break
+    users = pivot.users
+    if (
+        len(users) != 1
+        or len(holder.reqs) != len(resources)
+        or users[0] is not holder.reqs[ph]
+    ):
+        return False
+    members = [holder]
+    rems = [remaining]
+    pivots = [ph]
+    for req in pivot.queue:
+        fh = req.fh
+        if fh is None or fh is holder or not fh.remaining > 0 or not fh.quantum > 0:
+            return False
+        # a re-acquire stores the request at its acquisition index, so
+        # the queued request's slot in fh.reqs is the member's pivot
+        # position
+        mres = fh.resources
+        pm = -1
+        for j, rq in enumerate(fh.reqs):
+            if rq is req:
+                pm = j
+                break
+        if pm < 0 or len(fh.reqs) != len(mres) or mres[pm] is not pivot:
+            return False
+        for j in range(pm):
+            rj = mres[j]
+            if rj.queue or fh.reqs[j] not in rj.users:
+                return False  # pre-pivot resources must be held, uncontended
+        for j in range(pm + 1, len(mres)):
+            rj = mres[j]
+            if rj.users or rj.queue:
+                return False  # post-pivot resources must be idle
+        members.append(fh)
+        rems.append(fh.remaining)
+        pivots.append(pm)
+    if len(members) < 2:
+        return False
+    # A holder rotated out in this same timestep may still be mid
+    # re-acquisition: it holds its pre-pivot resources again but its
+    # pivot request is one deferred grant-callback away.  Adopting now
+    # would form a ring without it, only for that request to land on
+    # the very next event and dissolve the ring — pure calendar churn.
+    # Its signature is a tagged (re-acquire) request on a participant's
+    # prefix resource whose owner is not itself a participant: bail and
+    # let the post-completion grant (or a later boundary) adopt.
+    for m, pm in zip(members, pivots):
+        for j in range(pm):
+            for rq in m.resources[j].users:
+                fh2 = rq.fh
+                if fh2 is not None and not any(fh2 is p for p in members):
+                    return False
+    SliceRing(pivot, members, rems, pivots)
+    return True
+
+
+class SliceRing:
+    """One virtualized quantum rotation on one resource.
+
+    Live from adoption until the first member completion (the scheduled
+    Wake) or the first request touching any involved resource (the
+    synchronous hooks), whichever comes first; both paths rebuild the
+    exact resource/holder state the event-by-event rotation would be in
+    at that moment.
+    """
+
+    __slots__ = ("env", "res", "members", "rems", "pivots", "t0", "wake", "hooked", "dead")
+
+    def __init__(self, res, members, rems, pivots):
+        env = res.env
+        self.env = env
+        self.res = res
+        self.members = members
+        self.rems = rems
+        self.pivots = pivots
+        self.t0 = env._now
+        self.dead = False
+        # replay the rotation to the first completion; one calendar
+        # entry covers every virtual quantum boundary before it
+        _i, _r, t_c, _f = self._replay(None)
+        wake = self.wake = Wake(env, t_c)
+        wake.callbacks.append(self._on_wake)
+        # any request on any involved resource breaks the steady window
+        # — hook them all so the dissolve happens before the arriving
+        # request observes the frozen state
+        hook = self._dissolve
+        hooked = self.hooked = []
+        for m in members:
+            for rj in m.resources:
+                if not any(h is rj for h in hooked):
+                    hooked.append(rj)
+                    rj._request_hooks.append(hook)
+
+    # -- exact float replay of the rotation ------------------------------
+    def _replay(self, t_stop):
+        """Replay the rotation from the adoption state on copies.
+
+        With ``t_stop is None``: run to the first completion.  With a
+        time: process every quantum boundary at or before ``t_stop``
+        (a boundary exactly at an arrival is the older calendar entry,
+        so it replays first).  Returns ``(i, rems, end, final)`` where
+        ``i`` indexes the in-flight/completing member, ``rems`` holds
+        the advanced remaining times in original member order, ``end``
+        is the slice end and ``final`` whether that slice completes the
+        member's hold.  The adoption state itself is never mutated — it
+        stays valid for a later replay.
+
+        Mirrors ``FastHold._hold_step`` statement for statement:
+        ``t + quantum`` per non-final turn, ``remaining - quantum`` per
+        member turn, ``t + remaining`` for a final slice.
+        """
+        members = self.members
+        rems = list(self.rems)
+        t = self.t0
+        i = 0
+        n = len(members)
+        while True:
+            r = rems[i]
+            q = members[i].quantum
+            if r <= 0:
+                end, final = t, True
+            elif r <= q:
+                end, final = t + r, True
+            else:
+                end, final = t + q, False
+            if final or (t_stop is not None and end > t_stop):
+                break
+            rems[i] = r - q
+            t = end
+            i = (i + 1) % n
+        return i, rems, end, final
+
+    def _advance(self, t_stop):
+        """Replay and rotate the member/remaining/pivot lists so the
+        in-flight member leads."""
+        i, rems, end, final = self._replay(t_stop)
+        members = self.members
+        pivots = self.pivots
+        return (
+            members[i:] + members[:i],
+            rems[i:] + rems[:i],
+            pivots[i:] + pivots[:i],
+            end,
+            final,
+        )
+
+    # -- materialization --------------------------------------------------
+    def _rebuild(self, members, rems, pivots):
+        """Point the resources and members at the replayed rotation state.
+
+        ``members[0]`` becomes the holder — its pivot request moves to
+        ``users`` and its post-pivot resources are granted (a real
+        rotation grants them instantly right after the pivot).  The
+        rest queue in rotation order ahead of any foreign arrivals,
+        with their post-pivot holdings released, and every member's
+        ``remaining`` is the replayed value.  The queue was never
+        popped while the ring was live, so its first
+        ``len(members) - 1`` entries are exactly the member requests
+        and anything after them arrived later.
+        """
+        res = self.res
+        foreign = res.queue[len(members) - 1 :]
+        h = members[0]
+        res.users[:] = [h.reqs[pivots[0]]]
+        for j in range(pivots[0] + 1, len(h.resources)):
+            rj = h.resources[j]
+            if h.reqs[j] not in rj.users:
+                rq = _REQUEST_CLS(rj, h.priority)
+                rj.users.append(rq)
+                h.reqs[j] = rq
+        rebuilt = []
+        for m, pm in zip(members[1:], pivots[1:]):
+            req = m.reqs[pm]
+            if req.triggered:
+                # this member held the pivot at some virtual boundary —
+                # a real rotation would have released and re-requested,
+                # so give it the fresh request that rotation would have
+                # created (placed directly; the ring's own hooks must
+                # not observe it as an arrival)
+                req = _REQUEST_CLS(res, m.priority)
+                req.fh = m
+                req.callbacks.append(m._on_regrant)
+                m.reqs[pm] = req
+                m._acq_i = pm
+            rebuilt.append(req)
+            for j in range(pm + 1, len(m.resources)):
+                # a member that rotated out releases what it held past
+                # the pivot
+                rj = m.resources[j]
+                rq = m.reqs[j]
+                if rq in rj.users:
+                    rj.users.remove(rq)
+        res.queue[:] = rebuilt + foreign
+        for m, r in zip(members, rems):
+            m.remaining = r
+
+    def _unhook(self) -> None:
+        hook = self._dissolve
+        for rj in self.hooked:
+            try:
+                rj._request_hooks.remove(hook)
+            except ValueError:
+                pass
+
+    def _on_wake(self, ev: Event) -> None:
+        if self.dead:
+            return
+        self.dead = True
+        self._unhook()
+        members, rems, pivots, _end, _final = self._advance(None)
+        self._rebuild(members, rems, pivots)
+        # the completer's release grants the next member for real — the
+        # rotation resumes event-by-event (and typically re-adopts)
+        members[0]._release_and_done()
+
+    def _dissolve(self) -> None:
+        """Synchronous request hook: restore exact state *now*."""
+        if self.dead:
+            return
+        self.dead = True
+        self._unhook()
+        wake = self.wake
+        if wake.callbacks is not None:
+            try:
+                wake.callbacks.remove(self._on_wake)
+            except ValueError:
+                pass
+        members, rems, pivots, end, final = self._advance(self.env._now)
+        self._rebuild(members, rems, pivots)
+        holder = members[0]
+        if final:
+            # in a final slice the sliced loop leaves ``remaining``
+            # untouched and sleeps Timeout(remaining) — resume there
+            Wake(self.env, end).callbacks.append(holder._final_sleep_done)
+        else:
+            # mid-quantum: the sliced loop decremented before sleeping
+            holder.remaining = rems[0] - holder.quantum
+            Wake(self.env, end).callbacks.append(holder._after_sleep)

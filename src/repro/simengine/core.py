@@ -21,7 +21,7 @@ enters the simulation.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -130,8 +130,7 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         self._scheduled = True
-        env._seq += 1
-        heapq.heappush(env._queue, (env._now + delay, 1, env._seq, self))
+        env._push(env._now + delay, 1, self)
 
 
 class Wake(Event):
@@ -153,8 +152,7 @@ class Wake(Event):
         self._ok = True
         self._value = value
         self._scheduled = True
-        env._seq += 1
-        heapq.heappush(env._queue, (at, 1, env._seq, self))
+        env._push(at, 1, self)
 
 
 class Initialize(Event):
@@ -162,15 +160,45 @@ class Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, env: "Environment", process: "Process"):
+    def __init__(self, env: "Environment", process: "Process", _defer: bool = False):
         # Like Timeout, created triggered-and-scheduled in one step.
+        # ``_defer=True`` builds the event without inserting it; the
+        # caller batch-inserts via :meth:`Environment.schedule_many`.
         self.env = env
         self.callbacks = [process._resume]
         self._ok = True
         self._value = None
         self._scheduled = True
-        env._seq += 1
-        heapq.heappush(env._queue, (env._now, 0, env._seq, self))
+        if not _defer:
+            env._push(env._now, 0, self)
+
+
+class Hop(Event):
+    """Internal: a pre-triggered bare event with one fixed callback.
+
+    The fast serve paths (:mod:`repro.simengine.resources`,
+    :mod:`repro.hardware`) use hops to reproduce, entry for entry, the
+    calendar inserts that the generator-based paths make through
+    ``Initialize`` / combinator triggering — one heap entry, one
+    callback, no generator frame behind it.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        env: "Environment",
+        callback: Callable[["Event"], None],
+        priority: int = 1,
+        _defer: bool = False,
+    ):
+        self.env = env
+        self.callbacks = [callback]
+        self._ok = True
+        self._value = None
+        self._scheduled = True
+        if not _defer:
+            env._push(env._now, priority, self)
 
 
 class Process(Event):
@@ -184,14 +212,27 @@ class Process(Event):
 
     __slots__ = ("generator", "_target", "name")
 
-    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: str = "",
+        _defer: bool = False,
+    ):
         if not hasattr(generator, "send"):
             raise TypeError(f"process requires a generator, got {generator!r}")
-        super().__init__(env)
+        # inlined Event.__init__: processes are created on the serve
+        # hot paths, so the extra frame is measurable
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._scheduled = False
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
-        Initialize(env, self)
+        if not _defer:
+            Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
@@ -251,7 +292,7 @@ def _prune_combinator(self, fired: Event) -> None:
     """Detach a fired combinator from its still-pending children so it
     (and its values) are collectible instead of lingering in their
     callback lists until they eventually fire."""
-    cb = self._on_child
+    cb = self._cb
     for ev in self._events:
         if ev is not fired and ev.callbacks is not None:
             try:
@@ -266,12 +307,15 @@ class AllOf(Event):
     Fails fast if any constituent fails.
     """
 
-    __slots__ = ("_events", "_remaining")
+    __slots__ = ("_events", "_remaining", "_cb")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self._events = list(events)
         self._remaining = 0
+        # intern the bound callback once instead of materialising a new
+        # bound method per child append (and per prune removal)
+        cb = self._cb = self._on_child
         for ev in self._events:
             if ev.callbacks is None:
                 if not ev._ok:
@@ -280,7 +324,7 @@ class AllOf(Event):
                     return
                 continue
             self._remaining += 1
-            ev.callbacks.append(self._on_child)
+            ev.callbacks.append(cb)
         if self._remaining == 0 and self._value is PENDING:
             self.succeed([ev._value for ev in self._events])
 
@@ -301,7 +345,7 @@ class AllOf(Event):
 class AnyOf(Event):
     """Fires when the *first* of the given events fires; value is that value."""
 
-    __slots__ = ("_events",)
+    __slots__ = ("_events", "_cb")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -316,8 +360,9 @@ class AnyOf(Event):
             else:
                 self.fail(first._value)
             return
+        cb = self._cb = self._on_child
         for ev in self._events:
-            ev.callbacks.append(self._on_child)
+            ev.callbacks.append(cb)
 
     def _on_child(self, ev: Event) -> None:
         if self._value is not PENDING:
@@ -382,6 +427,22 @@ class Environment:
         """Start a new process from ``generator``."""
         return Process(self, generator, name)
 
+    def process_many(self, generators: Iterable[Generator], name: str = "") -> list[Process]:
+        """Start a burst of processes; calendar entries insert as one batch.
+
+        Equivalent to ``[env.process(g, name) for g in generators]`` —
+        the ``Initialize`` events receive the same consecutive sequence
+        numbers, so pop order (and therefore the simulation) is
+        bit-identical — but a large burst heapifies once instead of
+        sifting per insert (see :meth:`schedule_many`).
+        """
+        procs = [Process(self, g, name, _defer=True) for g in generators]
+        now = self._now
+        self.schedule_many(
+            [(now, 0, Initialize(self, p, _defer=True)) for p in procs]
+        )
+        return procs
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
@@ -389,20 +450,63 @@ class Environment:
         return AnyOf(self, events)
 
     # -- scheduling -------------------------------------------------------
+    def _push(self, when: float, priority: int, event: Event) -> None:
+        """Insert one calendar entry — the single scheduling funnel.
+
+        Every entry (``Timeout``/``Wake``/``Initialize`` construction,
+        ``succeed``/``fail`` triggering, the fast serve paths) lands
+        here, so an attached sanitizer can interpose on the instance to
+        observe every scheduled event.
+        """
+        self._seq += 1
+        heappush(self._queue, (when, priority, self._seq, event))
+
+    def schedule_many(self, entries: list[tuple[float, int, Event]]) -> None:
+        """Batch-insert ``(when, priority, event)`` calendar entries.
+
+        Sequence numbers are assigned in list order — exactly what a
+        loop of single inserts would produce, so the heap holds the
+        same key set and pops in the same order.  Bursts that are large
+        relative to the calendar heapify once (O(n + k)) instead of
+        sifting per entry (O(k log n)).  Events must already be
+        triggered and marked scheduled (``Timeout``-style construction).
+        """
+        if "_push" in self.__dict__:
+            # instrumented (sanitizer): every entry through the funnel
+            for when, priority, event in entries:
+                self._push(when, priority, event)
+            return
+        queue = self._queue
+        seq = self._seq
+        k = len(entries)
+        n = k + len(queue)
+        if k > 8 and 2 * n < k * (n.bit_length() - 1):
+            for when, priority, event in entries:
+                seq += 1
+                queue.append((when, priority, seq, event))
+            heapify(queue)
+        else:
+            for when, priority, event in entries:
+                seq += 1
+                heappush(queue, (when, priority, seq, event))
+        self._seq = seq
+
     def _schedule(self, event: Event, priority: int = 1) -> None:
-        self._schedule_at(event, self._now, priority)
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._push(self._now, priority, event)
 
     def _schedule_at(self, event: Event, when: float, priority: int = 1) -> None:
         if event._scheduled:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._queue, (when, priority, self._seq, event))
+        self._push(when, priority, event)
 
     # -- execution ----------------------------------------------------------
     def step(self) -> None:
         """Process the single next event on the calendar."""
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = heappop(self._queue)
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
@@ -431,13 +535,37 @@ class Environment:
                 raise ValueError("cannot run until a time in the past")
 
         queue = self._queue
-        step = self.step
-        while queue:
-            if stop_event is not None and stop_event.callbacks is None:
-                break
-            if stop_time is not None and queue[0][0] > stop_time:
-                break
-            step()
+        if "step" in self.__dict__:
+            # an instance-level override (attached sanitizer) replaces
+            # the inlined loop below with the instrumented step
+            step = self.step
+            while queue:
+                if stop_event is not None and stop_event.callbacks is None:
+                    break
+                if stop_time is not None and queue[0][0] > stop_time:
+                    break
+                step()
+        else:
+            # inlined step(): the per-event method call, property reads
+            # and heappop lookup add up over O(10^5) events per run
+            pop = heappop
+            while queue:
+                if stop_event is not None:
+                    if stop_event.callbacks is None:
+                        break
+                elif stop_time is not None and queue[0][0] > stop_time:
+                    break
+                when, _prio, _seq, event = pop(queue)
+                if when < self._now:
+                    raise SimulationError("event scheduled in the past")
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                for cb in callbacks:
+                    cb(event)
+                if not event._ok and not callbacks and not isinstance(event, Process):
+                    # A failed event nobody waited for: surface the error.
+                    raise event._value
 
         if stop_event is not None:
             if not stop_event.triggered:

@@ -18,7 +18,8 @@ from __future__ import annotations
 import os
 from typing import Any, Generator, Optional
 
-from .core import Environment, Event, SimulationError
+from . import analytic as _analytic
+from .core import Environment, Event, Hop, SimulationError, Timeout, Wake
 
 __all__ = [
     "Request",
@@ -27,11 +28,17 @@ __all__ = [
     "Container",
     "Store",
     "hold_quantum",
+    "FastHold",
 ]
 
 #: escape hatch: set REPRO_NO_FASTPATH=1 to force the classic
 #: one-event-per-quantum resource holds (useful when bisecting)
 QUANTUM_COALESCE = os.environ.get("REPRO_NO_FASTPATH", "") in ("", "0")
+
+#: escape hatch: set REPRO_NO_FASTHOLD=1 to serve disk/network requests
+#: through the classic generator processes instead of the callback
+#: state machines (:class:`FastHold`); orthogonal to REPRO_NO_FASTPATH
+FAST_HOLD = os.environ.get("REPRO_NO_FASTHOLD", "") in ("", "0")
 
 
 class Request(Event):
@@ -41,7 +48,7 @@ class Request(Event):
     :meth:`Resource.release`.
     """
 
-    __slots__ = ("resource", "priority", "_order", "_released")
+    __slots__ = ("resource", "priority", "_order", "_released", "fh")
 
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource.env)
@@ -50,6 +57,9 @@ class Request(Event):
         resource._order += 1
         self._order = resource._order
         self._released = False
+        # back-pointer set by FastHold re-acquires; lets the analytic
+        # slice rings recognise steady rotation members in the queue
+        self.fh = None
 
 
 class Resource:
@@ -65,6 +75,11 @@ class Resource:
         self.queue: list[Request] = []
         self._order = 0
         self._arrival_watchers: list[Event] = []
+        # synchronous callbacks run at the top of request(), before any
+        # state is read — analytic slice rings use these to dissolve
+        # exactly when a foreign request is about to observe the
+        # resource (empty except while a ring is live)
+        self._request_hooks: list = []
 
     @property
     def count(self) -> int:
@@ -73,6 +88,9 @@ class Resource:
 
     def request(self, priority: int = 0) -> Request:
         """Claim a slot; the returned event fires when granted."""
+        if self._request_hooks:
+            for cb in self._request_hooks[:]:
+                cb()
         req = Request(self, priority)
         if len(self.users) < self.capacity and not self.queue:
             self.users.append(req)
@@ -111,6 +129,7 @@ class Resource:
         self.queue.clear()
         self._order = 0
         self._arrival_watchers.clear()
+        self._request_hooks.clear()
 
     def release(self, req: Request) -> None:
         """Give the slot back and wake the next waiter.
@@ -167,6 +186,12 @@ class Resource:
             f"<{type(self).__name__} {self.name!r} {len(self.users)}/{self.capacity}"
             f" queued={len(self.queue)}>"
         )
+
+
+# plain FIFO resources are the only ring-eligible kind; the analytic
+# module checks exact type identity without importing this module
+_analytic._RESOURCE_CLS = Resource
+_analytic._REQUEST_CLS = Request
 
 
 class PriorityResource(Resource):
@@ -250,6 +275,223 @@ def hold_quantum(
                 req = r.request(priority)  # simlint: ignore[resource-release]
                 yield req
                 reqs[i] = req
+
+
+class FastHold:
+    """Callback-driven replica of ``request → hold_quantum → release``.
+
+    The generator serve paths (``Disk._serve``, ``Link._send``,
+    ``Network._route``) spend most of their cost on kernel plumbing: a
+    :class:`~repro.simengine.core.Process` object, a generator frame,
+    and a ``send()`` round trip per event.  This class drives the same
+    protocol as a flat state machine — each ``yield`` of the generator
+    corresponds to one bound-method callback here.
+
+    **Bit-identity invariant**: every calendar entry the generator path
+    inserts has a counterpart inserted *at the same moment* with the
+    same ``(time, priority)`` — construction pushes a priority-0
+    :class:`~repro.simengine.core.Hop` exactly where ``Initialize``
+    would sit; the request grant, quantum boundaries, coalesced-sleep
+    combinator resume and completion each consume one sequence number
+    exactly where the slow path consumes one.  Since sequence numbers
+    are assigned in the same order, the heap holds identical keys and
+    the simulation is bit-identical between the two paths (the kernel
+    determinism suite byte-compares the resulting tables).
+
+    Subclasses implement:
+
+    * ``_start(event)`` — runs where the process's first segment would
+      (priority-0 hop); usually ends in :meth:`_acquire`;
+    * ``_granted()`` — runs at the grant of the last resource; must
+      compute the hold time, apply the accounting the generator path
+      applies there, and call :meth:`_begin_hold`;
+    * ``_done()`` — runs after all resources are released at
+      completion; typically triggers the result event.
+    """
+
+    __slots__ = (
+        "env",
+        "resources",
+        "reqs",
+        "priority",
+        "quantum",
+        "remaining",
+        "result",
+        "_hold_start",
+        "_wake",
+        "_watchers",
+        "_acq_i",
+    )
+
+    def __init__(self, env: Environment, resources: list[Resource], priority: int):
+        self.env = env
+        self.resources = resources
+        self.priority = priority
+        self.reqs: list[Request] = []
+        self.result = Event(env)
+        # where the generator path creates Initialize(env, process)
+        Hop(env, self._start, priority=0)
+
+    # -- subclass hooks --------------------------------------------------
+    def _start(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _granted(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _done(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- acquisition -----------------------------------------------------
+    def _acquire(self) -> None:
+        """Acquire ``resources`` in list order, one grant at a time —
+        the fixed-order chain of ``yield req`` in the generator paths."""
+        self._acq_i = 0
+        self.reqs = []
+        self._acquire_next()
+
+    def _acquire_next(self) -> None:
+        i = self._acq_i
+        resources = self.resources
+        if i == len(resources):
+            self._granted()
+            return
+        req = resources[i].request(self.priority)  # simlint: ignore[resource-release]
+        self.reqs.append(req)
+        req.callbacks.append(self._on_grant)
+
+    def _on_grant(self, req: Event) -> None:
+        self._acq_i += 1
+        self._acquire_next()
+
+    # -- the hold loop (mirrors hold_quantum statement for statement) ----
+    def _begin_hold(self, total: float, quantum: float) -> None:
+        self.remaining = total
+        self.quantum = quantum
+        self._hold_step()
+
+    def _hold_step(self) -> None:
+        env = self.env
+        remaining = self.remaining
+        if remaining <= 0:
+            self._release_and_done()
+            return
+        quantum = self.quantum
+        if remaining <= quantum:
+            Timeout(env, remaining).callbacks.append(self._final_sleep_done)
+            return
+        resources = self.resources
+        contended = False
+        for r in resources:
+            if r.queue:
+                contended = True
+                break
+        if contended or not QUANTUM_COALESCE:
+            if contended and _analytic.ANALYTIC and _analytic.try_adopt(self, remaining):
+                return
+            self.remaining = remaining - quantum
+            Timeout(env, quantum).callbacks.append(self._after_sleep)
+            return
+        # Replay the per-quantum addition chain to the exact time the
+        # sliced loop would finish, then sleep there in one go.
+        start = env._now
+        end = start
+        rem = remaining
+        while rem > 0:
+            step = rem if rem < quantum else quantum
+            end += step
+            rem -= step
+        self._hold_start = start
+        watchers = self._watchers = [r.watch_arrival() for r in resources]
+        wake = self._wake = Wake(env, end)
+        cb = self._coalesce_fired
+        wake.callbacks.append(cb)
+        for w in watchers:
+            w.callbacks.append(cb)
+
+    def _coalesce_fired(self, ev: Event) -> None:
+        # mirror of AnyOf._on_child: schedule the resume (one priority-1
+        # entry, where AnyOf.succeed would insert itself), then prune
+        # the shared callback from the other chained events
+        Hop(self.env, self._after_coalesce)
+        cb = self._coalesce_fired
+        wake = self._wake
+        if wake is not ev and wake.callbacks is not None:
+            try:
+                wake.callbacks.remove(cb)
+            except ValueError:
+                pass
+        for w in self._watchers:
+            if w is not ev and w.callbacks is not None:
+                try:
+                    w.callbacks.remove(cb)
+                except ValueError:
+                    pass
+
+    def _after_coalesce(self, hop: Event) -> None:
+        env = self.env
+        wake = self._wake
+        for r, w in zip(self.resources, self._watchers):
+            r.unwatch_arrival(w)
+        self._watchers = None
+        self._wake = None
+        if wake.callbacks is None:  # processed: hold ran to completion
+            self._release_and_done()
+            return
+        # Contention arrived mid-sleep: rejoin the quantum grid at the
+        # first boundary after the arrival.
+        t_arr = env._now
+        quantum = self.quantum
+        b = self._hold_start
+        rem = self.remaining
+        while rem > 0 and b <= t_arr:
+            step = rem if rem < quantum else quantum
+            b += step
+            rem -= step
+        self.remaining = rem
+        Wake(env, b).callbacks.append(self._after_sleep)
+
+    def _after_sleep(self, ev: Event) -> None:
+        # hold_quantum loop bottom: yield slots to queued competitors
+        if self.remaining > 0:
+            resources = self.resources
+            for r in resources:
+                if r.queue:
+                    reqs = self.reqs
+                    for i in range(len(resources) - 1, -1, -1):
+                        resources[i].release(reqs[i])
+                    self._acq_i = 0
+                    self._reacquire_next()
+                    return
+        self._hold_step()
+
+    def _reacquire_next(self) -> None:
+        i = self._acq_i
+        resources = self.resources
+        if i == len(resources):
+            self._hold_step()
+            return
+        req = resources[i].request(self.priority)  # simlint: ignore[resource-release]
+        req.fh = self
+        self.reqs[i] = req
+        req.callbacks.append(self._on_regrant)
+
+    def _on_regrant(self, req: Event) -> None:
+        self._acq_i += 1
+        self._reacquire_next()
+
+    def _final_sleep_done(self, ev: Event) -> None:
+        self._release_and_done()
+
+    def _release_and_done(self) -> None:
+        # the callers' ``finally``: release in reverse list order,
+        # guarded against a slot already gone (teardown mid-hold)
+        resources = self.resources
+        reqs = self.reqs
+        for i in range(len(resources) - 1, -1, -1):
+            if reqs[i] in resources[i].users:
+                resources[i].release(reqs[i])
+        self._done()
 
 
 class Container:

@@ -20,7 +20,6 @@ each node's RAM.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -80,9 +79,14 @@ class PageCache:
         self.spec = spec
         self.name = name
         # key -> dirty byte count (0 == clean); order == recency (last = MRU)
-        self._segs: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self._segs: dict[tuple[int, int], int] = {}
+        # dirty keys only, in the same relative order they hold in _segs,
+        # so the flusher's oldest-first walk never scans clean entries
+        self._dirty: dict[tuple[int, int], int] = {}
         self._dirty_total = 0
         self._file_resident: dict[int, int] = {}  # fileid -> resident seg count
+        self._sb = spec.segment_bytes
+        self._nsegments = spec.nsegments
         self.stats = CacheStats()
 
     # -- geometry helpers -------------------------------------------------
@@ -129,8 +133,13 @@ class PageCache:
     def touch(self, fileid: int, seg: int) -> bool:
         """Record an access; returns True on hit (and refreshes LRU)."""
         key = (fileid, seg)
-        if key in self._segs:
-            self._segs.move_to_end(key)
+        segs = self._segs
+        if key in segs:
+            val = segs.pop(key)
+            segs[key] = val
+            if val:
+                dirty = self._dirty
+                dirty[key] = dirty.pop(key)
             self.stats.hits += 1
             return True
         self.stats.misses += 1
@@ -145,27 +154,38 @@ class PageCache:
         tuples; the caller must write those back to the backing store
         (and charge the time for it).  Clean victims vanish silently.
         """
-        sb = self.spec.segment_bytes
-        dirty_bytes = min(dirty_bytes, sb)
+        sb = self._sb
+        if dirty_bytes > sb:
+            dirty_bytes = sb
         key = (fileid, seg)
+        segs = self._segs
         victims: list[tuple[int, int, int]] = []
-        if key in self._segs:
-            old = self._segs[key]
-            new = min(old + dirty_bytes, sb)
-            self._segs[key] = new
+        if key in segs:
+            old = segs.pop(key)
+            new = old + dirty_bytes
+            if new > sb:
+                new = sb
+            segs[key] = new
             self._dirty_total += new - old
-            self._segs.move_to_end(key)
+            if new:
+                dirty = self._dirty
+                dirty.pop(key, None)
+                dirty[key] = new
             return victims
-        while len(self._segs) >= self.spec.nsegments:
-            (vfile, vseg), vdirty = self._segs.popitem(last=False)
-            self._file_resident[vfile] -= 1
+        while len(segs) >= self._nsegments:
+            vkey = next(iter(segs))
+            vdirty = segs.pop(vkey)
+            self._file_resident[vkey[0]] -= 1
             self.stats.evictions += 1
             if vdirty:
                 self._dirty_total -= vdirty
                 self.stats.dirty_evictions += 1
-                victims.append((vfile, vseg, vdirty))
-        self._segs[key] = dirty_bytes
-        self._dirty_total += dirty_bytes
+                del self._dirty[vkey]
+                victims.append((vkey[0], vkey[1], vdirty))
+        segs[key] = dirty_bytes
+        if dirty_bytes:
+            self._dirty[key] = dirty_bytes
+            self._dirty_total += dirty_bytes
         self._file_resident[fileid] = self._file_resident.get(fileid, 0) + 1
         return victims
 
@@ -175,14 +195,15 @@ class PageCache:
         if amount:
             self._segs[key] = 0
             self._dirty_total -= amount
+            del self._dirty[key]
 
     def dirty_segments(
         self, limit: int | None = None, fileid: int | None = None
     ) -> list[tuple[int, int, int]]:
         """Oldest-first dirty entries ``(fileid, seg, dirty_bytes)``."""
         out = []
-        for (f, s), dirty in self._segs.items():
-            if dirty and (fileid is None or f == fileid):
+        for (f, s), dirty in self._dirty.items():
+            if fileid is None or f == fileid:
                 out.append((f, s, dirty))
                 if limit is not None and len(out) >= limit:
                     break
@@ -191,6 +212,7 @@ class PageCache:
     def reset(self) -> None:
         """Empty the cache and zero the statistics (warm reuse)."""
         self._segs.clear()
+        self._dirty.clear()
         self._dirty_total = 0
         self._file_resident.clear()
         self.stats = CacheStats()
@@ -200,6 +222,7 @@ class PageCache:
         keys = [k for k in self._segs if k[0] == fileid]
         for k in keys:
             self._dirty_total -= self._segs.pop(k)
+            self._dirty.pop(k, None)
         if fileid in self._file_resident:
             self._file_resident[fileid] = 0
         return len(keys)
