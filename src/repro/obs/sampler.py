@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core.utilization import UtilizationWindow, capture_utilization
+from ..core.utilization import UtilizationWindow, _iter_busy_holders
 
 __all__ = ["UtilizationSampler"]
 
@@ -44,12 +44,22 @@ class UtilizationSampler:
         self.window_s = window_s or DEFAULT_WINDOW_S
         self.max_windows = max_windows
         self.windows: list[UtilizationWindow] = []
-        self._last = None
+        self._holders = ()
+        self._last_t = 0.0
+        self._last_vals: list[float] = []
         self._active = False
 
     def start(self) -> None:
-        """Begin sampling from the current simulated time."""
-        self._last = capture_utilization(self.system)
+        """Begin sampling from the current simulated time.
+
+        The disk/link set is resolved once here — the topology is fixed
+        after the system is built, so each window only re-reads the busy
+        counters instead of re-enumerating (and re-naming) every
+        resource.
+        """
+        self._holders = tuple(_iter_busy_holders(self.system))
+        self._last_t = self.system.env.now
+        self._last_vals = [h.busy_s for _, _, h in self._holders]
         self._active = True
         self.system.env.process(self._run(), name="obs.sampler")
 
@@ -73,20 +83,25 @@ class UtilizationSampler:
                 self._merge_pairs()
 
     def _flush(self) -> None:
-        cur = capture_utilization(self.system)
-        if cur.t_s > self._last.t_s:
-            busy = {}
-            kinds = {}
-            for name, (kind, total) in cur.busy.items():
-                prior = self._last.busy.get(name)
-                delta = total - (prior[1] if prior is not None else 0.0)
-                if delta > 0.0:
-                    busy[name] = delta
-                    kinds[name] = kind
-            self.windows.append(
-                UtilizationWindow(self._last.t_s, cur.t_s, busy, kinds)
-            )
-        self._last = cur
+        now = self.system.env.now
+        if now <= self._last_t:
+            # zero-width window: no simulated time passed, so the busy
+            # counters cannot have moved either
+            return
+        busy = {}
+        kinds = {}
+        vals = []
+        last_vals = self._last_vals
+        for i, (name, kind, holder) in enumerate(self._holders):
+            total = holder.busy_s
+            vals.append(total)
+            delta = total - last_vals[i]
+            if delta > 0.0:
+                busy[name] = delta
+                kinds[name] = kind
+        self.windows.append(UtilizationWindow(self._last_t, now, busy, kinds))
+        self._last_t = now
+        self._last_vals = vals
 
     def _merge_pairs(self) -> None:
         """Halve the series by merging adjacent windows; double the

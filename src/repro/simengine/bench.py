@@ -20,6 +20,13 @@ Scenario mix:
 * ``uncontended_hold`` — many holders each alone on a private
   resource: the coalesced-wake path (one entry per hold instead of
   one per quantum).
+* ``coupled_rotation`` — holders split over two capacity-1 uplinks
+  all contending for one shared pivot: the two-level rotation the
+  coupled analytic rings collapse (``REPRO_ANALYTIC=1``).
+* ``fs_serve`` — a stream of cached reads/writes through a real
+  :class:`~repro.storage.localfs.LocalFS`: the flat filesystem
+  state machines (the one scenario that touches model code, because
+  the fs fast path is what it gates).
 
 Each scenario reports wall seconds, simulated events (calendar entries
 consumed, from the environment's sequence counter) and events/second.
@@ -106,6 +113,62 @@ def _uncontended_hold(holders: int, rounds: int) -> Environment:
     return env
 
 
+def _coupled_rotation(holders: int, rounds: int, uplinks: int = 2) -> Environment:
+    env = Environment()
+    pivot = Resource(env, capacity=1)
+    ups = [Resource(env, capacity=1) for _ in range(uplinks)]
+    for i in range(holders):
+        # stagger the starts so the window forms mid-rotation, like a
+        # real client fan-in, instead of all holders arriving at t=0
+        def go(ev, up=ups[i % uplinks], k=i):
+            _BenchHold(env, [up, pivot], rounds * 0.020 + 0.013 * (k + 1), 0.020)
+
+        if i == 0:
+            go(None)
+        else:
+            Timeout(env, 0.001 * i).callbacks.append(go)
+    return env
+
+
+def _fs_serve(ops: int) -> Environment:
+    # imported here, not at module top: the kernel package must stay
+    # importable without the model layers, and every other scenario is
+    # pure-kernel — only the fs fast-path gate needs a real filesystem
+    from ..hardware import Node, NodeSpec, RAIDArray, RAIDConfig, RAIDLevel
+    from ..hardware.disk import DiskSpec
+    from ..storage.base import IORequest, KiB, MiB
+    from ..storage.cache import CacheSpec
+    from ..storage.localfs import LocalFS
+
+    env = Environment()
+    node = Node(env, "bench", NodeSpec(ram_bytes=64 * MiB))
+    arr = RAIDArray(
+        env,
+        RAIDConfig(
+            level=RAIDLevel.JBOD, ndisks=1, disk=DiskSpec(capacity_bytes=4096 * MiB)
+        ),
+    )
+    fs = LocalFS(env, node, arr, cache_spec=CacheSpec(capacity_bytes=32 * MiB))
+    state = {"inode": None, "i": 0}
+
+    def step(_ev=None):
+        i = state["i"]
+        if i >= ops:
+            return
+        state["i"] = i + 1
+        op = "write" if i % 2 == 0 else "read"
+        offset = (i % 16) * MiB
+        ev = fs.submit(state["inode"], IORequest(op, offset, 256 * KiB, count=4))
+        ev.callbacks.append(step)
+
+    def created(ev):
+        state["inode"] = ev.value
+        step()
+
+    fs.create("/bench").callbacks.append(created)
+    return env
+
+
 #: scenario name -> zero-arg environment builder (sizes tuned so the
 #: whole suite stays around a second on a laptop-class core)
 _SCENARIOS = {
@@ -113,6 +176,8 @@ _SCENARIOS = {
     "request_release": lambda: _request_release(60_000, 4),
     "contended_rotation": lambda: _contended_rotation(8, 2_500),
     "uncontended_hold": lambda: _uncontended_hold(64, 400),
+    "coupled_rotation": lambda: _coupled_rotation(8, 1_200),
+    "fs_serve": lambda: _fs_serve(4_000),
 }
 
 

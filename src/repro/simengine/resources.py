@@ -40,6 +40,12 @@ QUANTUM_COALESCE = os.environ.get("REPRO_NO_FASTPATH", "") in ("", "0")
 #: state machines (:class:`FastHold`); orthogonal to REPRO_NO_FASTPATH
 FAST_HOLD = os.environ.get("REPRO_NO_FASTHOLD", "") in ("", "0")
 
+#: escape hatch: set REPRO_NO_FSFAST=1 to serve filesystem and MPI-IO
+#: requests through the classic generator processes instead of the flat
+#: :class:`~repro.simengine.core.FlatOp` state machines; orthogonal to
+#: the other two hatches
+FS_FAST = os.environ.get("REPRO_NO_FSFAST", "") in ("", "0")
+
 
 class Request(Event):
     """A pending claim on a :class:`Resource` slot.
@@ -329,6 +335,8 @@ class FastHold:
         self.priority = priority
         self.reqs: list[Request] = []
         self.result = Event(env)
+        self._wake = None
+        self._hold_start = -1.0
         # where the generator path creates Initialize(env, process)
         Hop(env, self._start, priority=0)
 
@@ -390,7 +398,12 @@ class FastHold:
             if contended and _analytic.ANALYTIC and _analytic.try_adopt(self, remaining):
                 return
             self.remaining = remaining - quantum
-            Timeout(env, quantum).callbacks.append(self._after_sleep)
+            # record the in-flight slice so a late ring adoption (see
+            # analytic.try_adopt_late) can identify and defuse it; the
+            # coalesced branch below reuses the same slots
+            self._hold_start = env._now
+            wake = self._wake = Timeout(env, quantum)
+            wake.callbacks.append(self._after_sleep)
             return
         # Replay the per-quantum addition chain to the exact time the
         # sliced loop would finish, then sleep there in one go.
@@ -475,6 +488,12 @@ class FastHold:
         req.fh = self
         self.reqs[i] = req
         req.callbacks.append(self._on_regrant)
+        if not req.triggered and _analytic.ANALYTIC:
+            # a stalled re-acquire is the last deferred hop of a
+            # rotation boundary — the first instant a two-level steady
+            # window is fully observable (the new holder's _hold_step
+            # ran one grant-callback too early to see this queue entry)
+            _analytic.try_adopt_late(resources[i])
 
     def _on_regrant(self, req: Event) -> None:
         self._acq_i += 1

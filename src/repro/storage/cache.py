@@ -189,6 +189,155 @@ class PageCache:
         self._file_resident[fileid] = self._file_resident.get(fileid, 0) + 1
         return victims
 
+    def touch_run(self, fileid: int, seg_range: Iterable[int]) -> None:
+        """Record a run of accesses; equivalent to :meth:`touch` per
+        segment (LRU refresh, statistics) without a method call each."""
+        segs = self._segs
+        dirty = self._dirty
+        stats = self.stats
+        for s in seg_range:
+            key = (fileid, s)
+            old = segs.pop(key, None)
+            if old is None:
+                stats.misses += 1
+                continue
+            segs[key] = old
+            if old:
+                dirty[key] = dirty.pop(key)
+            stats.hits += 1
+
+    def insert_clean_run(self, fileid: int, first: int, nsegs: int) -> int:
+        """Batch-insert a clean run, stopping before the first segment
+        whose insertion would evict a *dirty* victim.
+
+        Equivalent to ``insert(fileid, s, 0)`` for each absorbed
+        segment — same LRU order, same (clean) eviction order, same
+        statistics.  Returns how many leading segments were absorbed;
+        the caller handles the next one with per-segment :meth:`insert`
+        so its dirty victims flush at the right simulated time.
+        """
+        segs = self._segs
+        dirty = self._dirty
+        nmax = self._nsegments
+        file_resident = self._file_resident
+        stats = self.stats
+        done = 0
+        for s in range(first, first + nsegs):
+            key = (fileid, s)
+            old = segs.pop(key, None)
+            if old is not None:
+                segs[key] = old
+                if old:
+                    dirty[key] = dirty.pop(key)
+                done += 1
+                continue
+            while len(segs) >= nmax:
+                vkey = next(iter(segs))
+                if segs[vkey]:
+                    return done  # dirty victim: leave it to insert()
+                del segs[vkey]
+                file_resident[vkey[0]] -= 1
+                stats.evictions += 1
+            segs[key] = 0
+            file_resident[fileid] = file_resident.get(fileid, 0) + 1
+            done += 1
+        return done
+
+    def insert_dirty_run(
+        self, fileid: int, entries, start: int = 0
+    ) -> int:
+        """Absorb consecutive ``(seg, dirty_bytes)`` write-plan entries,
+        stopping before the first that needs the writer throttled or
+        would evict a dirty victim.
+
+        Equivalent to the per-entry ``need_throttle`` check plus
+        :meth:`insert` for each absorbed entry; returns how many were
+        absorbed from ``entries[start:]``.  The caller resumes its
+        per-segment throttle/insert/flush machinery at the entry where
+        the batch stopped.
+        """
+        segs = self._segs
+        dirty = self._dirty
+        sb = self._sb
+        nmax = self._nsegments
+        limit = self.spec.dirty_limit_bytes
+        file_resident = self._file_resident
+        stats = self.stats
+        done = 0
+        for i in range(start, len(entries)):
+            if self._dirty_total > limit:
+                break
+            seg, dbytes = entries[i]
+            if dbytes > sb:
+                dbytes = sb
+            key = (fileid, seg)
+            old = segs.pop(key, None)
+            if old is not None:
+                new = old + dbytes
+                if new > sb:
+                    new = sb
+                segs[key] = new
+                self._dirty_total += new - old
+                if new:
+                    dirty.pop(key, None)
+                    dirty[key] = new
+                done += 1
+                continue
+            blocked = False
+            while len(segs) >= nmax:
+                vkey = next(iter(segs))
+                if segs[vkey]:
+                    blocked = True  # dirty victim: leave it to insert()
+                    break
+                del segs[vkey]
+                file_resident[vkey[0]] -= 1
+                stats.evictions += 1
+            if blocked:
+                break
+            segs[key] = dbytes
+            if dbytes:
+                dirty[key] = dbytes
+                self._dirty_total += dbytes
+            file_resident[fileid] = file_resident.get(fileid, 0) + 1
+            done += 1
+        return done
+
+    def touch_or_insert_clean(self, fileid: int, seg_range: Iterable[int]) -> None:
+        """Serve-path access walk: touch each segment, making misses
+        resident clean and silently dropping any dirty victims (the
+        caller accounts their write-back analytically).
+
+        Equivalent to ``touch(fileid, s) or insert(fileid, s, 0)`` per
+        segment — including LRU order, eviction order and statistics —
+        without two method calls and a victims list per segment.
+        """
+        segs = self._segs
+        dirty = self._dirty
+        stats = self.stats
+        nmax = self._nsegments
+        file_resident = self._file_resident
+        for s in seg_range:
+            key = (fileid, s)
+            old = segs.pop(key, None)
+            if old is not None:
+                segs[key] = old
+                if old:
+                    dirty[key] = dirty.pop(key)
+                stats.hits += 1
+                continue
+            stats.misses += 1
+            while len(segs) >= nmax:
+                vkey = next(iter(segs))
+                vdirty = segs.pop(vkey)
+                file_resident[vkey[0]] -= 1
+                stats.evictions += 1
+                if vdirty:
+                    self._dirty_total -= vdirty
+                    stats.dirty_evictions += 1
+                    del dirty[vkey]
+            segs[key] = 0
+            file_resident[fileid] = file_resident.get(fileid, 0) + 1
+
     def mark_clean(self, fileid: int, seg: int) -> None:
         key = (fileid, seg)
         amount = self._segs.get(key, 0)

@@ -27,7 +27,8 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
-from ..simengine import Environment, Event
+from ..simengine import Environment, Event, FlatOp, Resource, Timeout
+from ..simengine import resources as _kernel
 from ..hardware.node import Node
 from ..hardware.raid import RAIDArray
 from .base import IORequest, KiB, MiB
@@ -135,9 +136,11 @@ class LocalFS:
     # ------------------------------------------------------------------
     def create(self, path: str) -> Event:
         """Create (or truncate) a file; value is the :class:`Inode`."""
+        if _kernel.FS_FAST:
+            return _LocalCreate(self, path).result
         return self.env.process(self._create(path), name=f"{self.name}.create")
 
-    def _create(self, path):
+    def _create(self, path):  # simlint: ignore[generator-serve]
         yield self.env.timeout(self.spec.create_s)
         yield self.array.submit(
             "write", self._journal_offset(), self.spec.journal_write_bytes
@@ -161,8 +164,10 @@ class LocalFS:
                 return self.create(path)
             raise FileNotFoundError(path)
         inode = self._inodes[path]
+        if _kernel.FS_FAST:
+            return _LocalOpen(self, inode).result
 
-        def _op():
+        def _op():  # simlint: ignore[generator-serve]
             yield self.env.timeout(self.spec.open_s)
             self.stats.opens += 1
             return inode
@@ -176,8 +181,10 @@ class LocalFS:
         inode = self._inodes.get(path)
         if inode is None:
             raise FileNotFoundError(path)
+        if _kernel.FS_FAST:
+            return _LocalUnlink(self, path, inode).result
 
-        def _op():
+        def _op():  # simlint: ignore[generator-serve]
             yield self.env.timeout(self.spec.unlink_s)
             yield self.array.submit(
                 "write", self._journal_offset(), self.spec.journal_write_bytes
@@ -207,6 +214,10 @@ class LocalFS:
         """Serve a data request; the event fires when it is *accepted*
         (writes: resident in cache under write-back; reads: data
         available in the caller's buffer)."""
+        if _kernel.FS_FAST:
+            if req.op == "write":
+                return _LocalWrite(self, inode, req).result
+            return _LocalRead(self, inode, req).result
         if req.op == "write":
             return self.env.process(self._write(inode, req), name=f"{self.name}.write")
         return self.env.process(self._read(inode, req), name=f"{self.name}.read")
@@ -232,15 +243,11 @@ class LocalFS:
         """
         if req.op != "write":
             raise ValueError("submit_serialized_write is write-only")
+        if _kernel.FS_FAST:
+            return _LocalSerializedWrite(self, inode, req, per_op_s).result
 
-        def _op():
-            lock = self._inode_locks.get(inode.fileid)
-            if lock is None:
-                from ..simengine import Resource
-
-                lock = self._inode_locks[inode.fileid] = Resource(
-                    self.env, 1, name=f"{self.name}.ilock{inode.fileid}"
-                )
+        def _op():  # simlint: ignore[generator-serve]
+            lock = self._ilock(inode)
             grant = lock.request()
             yield grant
             try:
@@ -252,6 +259,14 @@ class LocalFS:
             return req.total_bytes
 
         return self.env.process(_op(), name=f"{self.name}.syncwrite")
+
+    def _ilock(self, inode: Inode) -> Resource:
+        lock = self._inode_locks.get(inode.fileid)
+        if lock is None:
+            lock = self._inode_locks[inode.fileid] = Resource(
+                self.env, 1, name=f"{self.name}.ilock{inode.fileid}"
+            )
+        return lock
 
     def absorb(self, inode: Inode, req: IORequest) -> int:
         """Apply a request's *state* side effects without simulating it.
@@ -282,11 +297,11 @@ class LocalFS:
             span = req.span
             if req.op == "read":
                 span = min(span, max(inode.size - req.offset, 0))
-            for seg in self.cache.segments_of(req.offset, span):
-                if not self.cache.touch(inode.fileid, seg):
-                    # clean insert; dirty victims were already flushed
-                    # analytically as part of the steady-state timing
-                    self.cache.insert(inode.fileid, seg, 0)
+            # misses land clean; dirty victims were already flushed
+            # analytically as part of the steady-state timing
+            self.cache.touch_or_insert_clean(
+                inode.fileid, self.cache.segments_of(req.offset, span)
+            )
         return total
 
     def state_token(self, inode: Inode, req: IORequest) -> tuple:
@@ -330,6 +345,8 @@ class LocalFS:
 
     def fsync(self, inode: Inode) -> Event:
         """Flush the file's dirty segments to the device."""
+        if _kernel.FS_FAST:
+            return _LocalFsync(self, inode).result
         return self.env.process(self._fsync(inode), name=f"{self.name}.fsync")
 
     def sync(self) -> Event:
@@ -362,7 +379,7 @@ class LocalFS:
         rem = (req.count - n) * req.nbytes
         return [(s, req.nbytes) for s in segs], rem
 
-    def _write(self, inode, req: IORequest):
+    def _write(self, inode, req: IORequest):  # simlint: ignore[generator-serve]
         spec = self.spec
         total = req.total_bytes
         # CPU: syscalls + copy into the cache
@@ -373,16 +390,28 @@ class LocalFS:
         self.stats.bytes_written += total
 
         plan, overflow = self._dirty_plan(req)
-        for seg, dirty in plan:
-            if self.cache.need_throttle:
-                yield from self._throttle()
-            victims = self.cache.insert(
-                inode.fileid, seg, dirty if self.cache.spec.write_back else 0
-            )
-            if not self.cache.spec.write_back:
+        if self.cache.spec.write_back:
+            i = 0
+            while i < len(plan):
+                # absorb the throttle-free, flush-free prefix in one call
+                i += self.cache.insert_dirty_run(inode.fileid, plan, i)
+                if i >= len(plan):
+                    break
+                seg, dirty = plan[i]
+                if self.cache.need_throttle:
+                    yield from self._throttle()
+                victims = self.cache.insert(inode.fileid, seg, dirty)
+                if victims:
+                    yield from self._flush_entries(victims)
+                i += 1
+        else:
+            for seg, dirty in plan:
+                if self.cache.need_throttle:
+                    yield from self._throttle()
+                victims = self.cache.insert(inode.fileid, seg, 0)
                 yield from self._flush_entries([(inode.fileid, seg, dirty)])
-            if victims:
-                yield from self._flush_entries(victims)
+                if victims:
+                    yield from self._flush_entries(victims)
         if overflow:
             # Stream far larger than the cache: the excess hits the
             # device directly at the pattern's natural rate.
@@ -395,7 +424,7 @@ class LocalFS:
         return total
 
     # -- read --------------------------------------------------------------
-    def _read(self, inode, req: IORequest):
+    def _read(self, inode, req: IORequest):  # simlint: ignore[generator-serve]
         spec = self.spec
         total = req.total_bytes
         yield self.env.timeout(req.count * spec.syscall_s + self.node.memcpy_time(total))
@@ -404,8 +433,7 @@ class LocalFS:
 
         if self.cache.file_fully_resident(inode.fileid, max(inode.size, 1)):
             span = min(req.span, max(inode.size - req.offset, 0))
-            for seg in self.cache.segments_of(req.offset, span):
-                self.cache.touch(inode.fileid, seg)
+            self.cache.touch_run(inode.fileid, self.cache.segments_of(req.offset, span))
             return total
         if req.is_dense:
             yield from self._cached_read(inode, req)
@@ -418,7 +446,7 @@ class LocalFS:
             yield self.array.submit("read", dev, nb, req.count, stride)
         return total
 
-    def _cached_read(self, inode, req: IORequest):
+    def _cached_read(self, inode, req: IORequest):  # simlint: ignore[generator-serve]
         sb = self.cache.spec.segment_bytes
         span = min(req.span, max(inode.size - req.offset, 0))
         segs = list(self.cache.segments_of(req.offset, span))
@@ -440,7 +468,7 @@ class LocalFS:
                     miss_run.append(last + k)
             yield from self._fill(inode, miss_run)
 
-    def _fill(self, inode, segs: list[int]):
+    def _fill(self, inode, segs: list[int]):  # simlint: ignore[generator-serve]
         """Read missing segments from the device and make them resident."""
         sb = self.cache.spec.segment_bytes
         for fileid, first, nsegs, _d in PageCache.coalesce(
@@ -451,8 +479,13 @@ class LocalFS:
             self._ensure_allocation(inode, off + length)
             dev = inode.device_offset(off)
             yield self.array.submit("read", dev, length)
-            for s in range(first, first + nsegs):
+            s, end = first, first + nsegs
+            while s < end:
+                s += self.cache.insert_clean_run(fileid, s, end - s)
+                if s >= end:
+                    break
                 victims = self.cache.insert(fileid, s, 0)
+                s += 1
                 if victims:
                     yield from self._flush_entries(victims)
 
@@ -473,7 +506,7 @@ class LocalFS:
         self._alloc_cursor = start + length
         inode.extents.append((have, start, length))
 
-    def _flush_entries(self, entries):
+    def _flush_entries(self, entries):  # simlint: ignore[generator-serve]
         """Write dirty cache entries to the device and mark them clean.
 
         Runs that are densely dirty flush as one sequential write;
@@ -504,9 +537,12 @@ class LocalFS:
     def _kick_flusher(self) -> None:
         if not self._flusher_running:
             self._flusher_running = True
-            self.env.process(self._flusher(), name=f"{self.name}.flusher")
+            if _kernel.FS_FAST:
+                _LocalFlusher(self)
+            else:
+                self.env.process(self._flusher(), name=f"{self.name}.flusher")
 
-    def _flusher(self):
+    def _flusher(self):  # simlint: ignore[generator-serve]
         while self.cache.need_background_flush:
             batch = self.cache.dirty_segments(limit=self.FLUSH_BATCH_SEGS)
             if not batch:
@@ -520,7 +556,7 @@ class LocalFS:
         for w in waiters:
             w.succeed()
 
-    def _throttle(self):
+    def _throttle(self):  # simlint: ignore[generator-serve]
         """Block the writer until the flusher drains below the dirty limit."""
         while self.cache.need_throttle:
             self._kick_flusher()
@@ -528,7 +564,7 @@ class LocalFS:
             self._flush_waiters.append(ev)
             yield ev
 
-    def _fsync(self, inode):
+    def _fsync(self, inode):  # simlint: ignore[generator-serve]
         yield self.env.timeout(self.spec.syscall_s)
         entries = self.cache.dirty_segments(limit=None, fileid=inode.fileid)
         yield from self._flush_entries(entries)
@@ -537,8 +573,498 @@ class LocalFS:
         )
         return None
 
-    def _sync_all(self):
+    def _sync_all(self):  # simlint: ignore[generator-serve]
         entries = self.cache.dirty_segments(limit=None)
         yield from self._flush_entries(entries)
         yield self.array.flush()
         return None
+
+
+# ----------------------------------------------------------------------
+# flat service paths (REPRO_NO_FSFAST falls back to the generators)
+# ----------------------------------------------------------------------
+class _FlatFlush:
+    """Flat counterpart of :meth:`LocalFS._flush_entries`.
+
+    Sub-flows have no calendar footprint of their own (they replace a
+    ``yield from``): they borrow the parent op's :meth:`FlatOp._await`
+    and call ``k()`` when the flow completes.
+    """
+
+    __slots__ = ("fs", "op", "runs", "i", "k")
+
+    def __init__(self, fs, op, entries, k):
+        self.fs = fs
+        self.op = op
+        self.runs = list(PageCache.coalesce(entries))
+        self.i = 0
+        self.k = k
+        self._next()
+
+    def _next(self, _v=None):
+        fs = self.fs
+        sb = fs.cache.spec.segment_bytes
+        runs = self.runs
+        while self.i < len(runs):
+            fileid, first, nsegs, dirty = runs[self.i]
+            inode = fs._by_id.get(fileid)
+            if inode is None:
+                for s in range(first, first + nsegs):
+                    fs.cache.mark_clean(fileid, s)
+                self.i += 1
+                continue
+            off = first * sb
+            fs._ensure_allocation(inode, off + nsegs * sb)
+            dev = inode.device_offset(off)
+            density = dirty / (nsegs * sb)
+            if density >= fs.spec.dense_flush_threshold:
+                ev = fs.array.submit("write", dev, nsegs * sb, cached=False)
+            else:
+                nb = fs.spec.min_io_bytes
+                nops = max(dirty // nb, 1)
+                scatter = max((nsegs * sb) // nops, nb)
+                ev = fs.array.submit("write", dev, nb, nops, scatter, cached=False)
+            self.op._await(ev, self._written)
+            return
+        self.k()
+
+    def _written(self, _v):
+        fs = self.fs
+        fileid, first, nsegs, _d = self.runs[self.i]
+        for s in range(first, first + nsegs):
+            fs.cache.mark_clean(fileid, s)
+        fs.stats.flush_runs += 1
+        self.i += 1
+        self._next()
+
+
+class _FlatThrottle:
+    """Flat counterpart of :meth:`LocalFS._throttle`."""
+
+    __slots__ = ("fs", "op", "k")
+
+    def __init__(self, fs, op, k):
+        self.fs = fs
+        self.op = op
+        self.k = k
+        self._check()
+
+    def _check(self, _v=None):
+        fs = self.fs
+        if fs.cache.need_throttle:
+            fs._kick_flusher()
+            ev = Event(fs.env)
+            fs._flush_waiters.append(ev)
+            self.op._await(ev, self._check)
+        else:
+            self.k()
+
+
+class _FlatFill:
+    """Flat counterpart of :meth:`LocalFS._fill`."""
+
+    __slots__ = ("fs", "op", "inode", "runs", "i", "s", "k")
+
+    def __init__(self, fs, op, inode, segs, k):
+        self.fs = fs
+        self.op = op
+        self.inode = inode
+        self.runs = list(PageCache.coalesce((inode.fileid, s, 0) for s in segs))
+        self.i = 0
+        self.s = 0
+        self.k = k
+        self._next()
+
+    def _next(self, _v=None):
+        fs = self.fs
+        sb = fs.cache.spec.segment_bytes
+        if self.i >= len(self.runs):
+            self.k()
+            return
+        _fileid, first, nsegs, _d = self.runs[self.i]
+        inode = self.inode
+        off = first * sb
+        length = min(nsegs * sb, max(inode.size - off, sb))
+        fs._ensure_allocation(inode, off + length)
+        dev = inode.device_offset(off)
+        self.s = first
+        self.op._await(fs.array.submit("read", dev, length), self._insert_loop)
+
+    def _insert_loop(self, _v=None):
+        fs = self.fs
+        fileid, first, nsegs, _d = self.runs[self.i]
+        end = first + nsegs
+        while self.s < end:
+            self.s += fs.cache.insert_clean_run(fileid, self.s, end - self.s)
+            if self.s >= end:
+                break
+            victims = fs.cache.insert(fileid, self.s, 0)
+            self.s += 1
+            if victims:
+                _FlatFlush(fs, self.op, victims, self._insert_loop)
+                return
+        self.i += 1
+        self._next()
+
+
+class _LocalWrite(FlatOp):
+    """Flat counterpart of :meth:`LocalFS._write`."""
+
+    __slots__ = ("fs", "inode", "req", "total", "_plan", "_overflow", "_i", "_stage", "_victims")
+
+    def __init__(self, fs, inode, req):
+        self.fs = fs
+        self.inode = inode
+        self.req = req
+        super().__init__(fs.env)
+
+    def _start(self, event):
+        fs = self.fs
+        req = self.req
+        total = self.total = req.total_bytes
+        self._await(
+            Timeout(self.env, req.count * fs.spec.syscall_s + fs.node.memcpy_time(total)),
+            self._after_cpu,
+        )
+
+    def _after_cpu(self, _v):
+        fs = self.fs
+        req = self.req
+        end = req.offset + req.span
+        fs._ensure_allocation(self.inode, end)
+        fs.stats.writes += req.count
+        fs.stats.bytes_written += self.total
+        self._plan, self._overflow = fs._dirty_plan(req)
+        self._i = 0
+        self._stage = 0
+        self._victims = ()
+        self._plan_step()
+
+    def _plan_step(self, _v=None):
+        fs = self.fs
+        cache = fs.cache
+        plan = self._plan
+        fileid = self.inode.fileid
+        write_back = cache.spec.write_back
+        while self._i < len(plan):
+            st = self._stage
+            if st == 0 and write_back:
+                # absorb the throttle-free, flush-free prefix in one call
+                self._i += cache.insert_dirty_run(fileid, plan, self._i)
+                if self._i >= len(plan):
+                    break
+            seg, dirty = plan[self._i]
+            if st == 0:
+                if cache.need_throttle:
+                    self._stage = 1
+                    _FlatThrottle(fs, self, self._plan_step)
+                    return
+                st = 1
+            if st == 1:
+                self._victims = cache.insert(
+                    fileid, seg, dirty if cache.spec.write_back else 0
+                )
+                if not cache.spec.write_back:
+                    self._stage = 2
+                    _FlatFlush(fs, self, [(fileid, seg, dirty)], self._plan_step)
+                    return
+                st = 2
+            if st == 2:
+                victims = self._victims
+                if victims:
+                    self._victims = ()
+                    self._stage = 3
+                    _FlatFlush(fs, self, victims, self._plan_step)
+                    return
+            self._i += 1
+            self._stage = 0
+        self._after_plan()
+
+    def _after_plan(self):
+        fs = self.fs
+        if self._overflow:
+            req = self.req
+            nb = max(req.nbytes, fs.spec.min_io_bytes)
+            dev = self.inode.device_offset(0)
+            self._await(
+                fs.array.submit(
+                    "write", dev, nb, max(self._overflow // nb, 1), 7919 * nb, cached=False
+                ),
+                self._after_overflow,
+            )
+            return
+        self._after_overflow(None)
+
+    def _after_overflow(self, _v):
+        fs = self.fs
+        if fs.cache.need_background_flush:
+            fs._kick_flusher()
+        inode = self.inode
+        req = self.req
+        inode.size = max(inode.size, req.offset + req.span)
+        self._finish(self.total)
+
+
+class _LocalRead(FlatOp):
+    """Flat counterpart of :meth:`LocalFS._read` (incl. ``_cached_read``)."""
+
+    __slots__ = ("fs", "inode", "req", "total", "_segs", "_si", "_miss")
+
+    def __init__(self, fs, inode, req):
+        self.fs = fs
+        self.inode = inode
+        self.req = req
+        super().__init__(fs.env)
+
+    def _start(self, event):
+        fs = self.fs
+        req = self.req
+        total = self.total = req.total_bytes
+        self._await(
+            Timeout(self.env, req.count * fs.spec.syscall_s + fs.node.memcpy_time(total)),
+            self._after_cpu,
+        )
+
+    def _after_cpu(self, _v):
+        fs = self.fs
+        req = self.req
+        inode = self.inode
+        spec = fs.spec
+        fs.stats.reads += req.count
+        fs.stats.bytes_read += self.total
+
+        if fs.cache.file_fully_resident(inode.fileid, max(inode.size, 1)):
+            span = min(req.span, max(inode.size - req.offset, 0))
+            fs.cache.touch_run(inode.fileid, fs.cache.segments_of(req.offset, span))
+            self._finish(self.total)
+            return
+        if req.is_dense:
+            span = min(req.span, max(inode.size - req.offset, 0))
+            self._segs = list(fs.cache.segments_of(req.offset, span))
+            self._si = 0
+            self._miss = []
+            self._scan()
+            return
+        nb = max(req.nbytes, spec.min_io_bytes)
+        dev = inode.device_offset(min(req.offset, max(inode.size - 1, 0)))
+        stride = req.effective_stride if req.stride != -1 else 7919 * spec.min_io_bytes
+        fs.cache.stats.misses += req.count
+        self._await(fs.array.submit("read", dev, nb, req.count, stride), self._sparse_done)
+
+    def _sparse_done(self, _v):
+        self._finish(self.total)
+
+    def _scan(self, _v=None):
+        fs = self.fs
+        inode = self.inode
+        segs = self._segs
+        while self._si < len(segs):
+            seg = segs[self._si]
+            self._si += 1
+            if fs.cache.touch(inode.fileid, seg):
+                if self._miss:
+                    miss, self._miss = self._miss, []
+                    _FlatFill(fs, self, inode, miss, self._scan)
+                    return
+            else:
+                self._miss.append(seg)
+        miss = self._miss
+        if miss:
+            sb = fs.cache.spec.segment_bytes
+            ra_extra = fs.spec.readahead_bytes // sb
+            last = miss[-1]
+            file_last_seg = max((inode.size - 1) // sb, 0)
+            for k in range(1, ra_extra + 1):
+                if last + k <= file_last_seg:
+                    miss.append(last + k)
+            self._miss = []
+            _FlatFill(fs, self, inode, miss, self._fills_done)
+            return
+        self._finish(self.total)
+
+    def _fills_done(self, _v=None):
+        self._finish(self.total)
+
+
+class _LocalFlusher(FlatOp):
+    """Flat counterpart of the background :meth:`LocalFS._flusher`."""
+
+    __slots__ = ("fs",)
+
+    def __init__(self, fs):
+        self.fs = fs
+        super().__init__(fs.env)
+
+    def _start(self, event):
+        self._loop()
+
+    def _loop(self, _v=None):
+        fs = self.fs
+        while fs.cache.need_background_flush:
+            batch = fs.cache.dirty_segments(limit=fs.FLUSH_BATCH_SEGS)
+            if not batch:
+                break
+            _FlatFlush(fs, self, batch, self._batch_done)
+            return
+        fs._flusher_running = False
+        waiters, fs._flush_waiters = fs._flush_waiters, []
+        for w in waiters:
+            w.succeed()
+        self._finish(None)
+
+    def _batch_done(self, _v=None):
+        fs = self.fs
+        waiters, fs._flush_waiters = fs._flush_waiters, []
+        for w in waiters:
+            w.succeed()
+        self._loop()
+
+
+class _LocalFsync(FlatOp):
+    """Flat counterpart of :meth:`LocalFS._fsync`."""
+
+    __slots__ = ("fs", "inode")
+
+    def __init__(self, fs, inode):
+        self.fs = fs
+        self.inode = inode
+        super().__init__(fs.env)
+
+    def _start(self, event):
+        self._await(Timeout(self.env, self.fs.spec.syscall_s), self._after_cpu)
+
+    def _after_cpu(self, _v):
+        fs = self.fs
+        entries = fs.cache.dirty_segments(limit=None, fileid=self.inode.fileid)
+        _FlatFlush(fs, self, entries, self._flushed)
+
+    def _flushed(self, _v=None):
+        fs = self.fs
+        self._await(
+            fs.array.submit("write", fs._journal_offset(), fs.spec.journal_write_bytes),
+            self._journaled,
+        )
+
+    def _journaled(self, _v):
+        self._finish(None)
+
+
+class _LocalCreate(FlatOp):
+    """Flat counterpart of :meth:`LocalFS._create`."""
+
+    __slots__ = ("fs", "path")
+
+    def __init__(self, fs, path):
+        self.fs = fs
+        self.path = path
+        super().__init__(fs.env)
+
+    def _start(self, event):
+        self._await(Timeout(self.env, self.fs.spec.create_s), self._after_cpu)
+
+    def _after_cpu(self, _v):
+        fs = self.fs
+        self._await(
+            fs.array.submit("write", fs._journal_offset(), fs.spec.journal_write_bytes),
+            self._journaled,
+        )
+
+    def _journaled(self, _v):
+        fs = self.fs
+        inode = fs._inodes.get(self.path)
+        if inode is None:
+            inode = Inode(fs._next_fileid, self.path)
+            fs._next_fileid += 1
+            fs._inodes[self.path] = inode
+            fs._by_id[inode.fileid] = inode
+        else:
+            inode.size = 0
+            fs.cache.drop_file(inode.fileid)
+        fs.stats.creates += 1
+        self._finish(inode)
+
+
+class _LocalOpen(FlatOp):
+    """Flat counterpart of the one-yield open op."""
+
+    __slots__ = ("fs", "inode")
+
+    def __init__(self, fs, inode):
+        self.fs = fs
+        self.inode = inode
+        super().__init__(fs.env)
+
+    def _start(self, event):
+        self._await(Timeout(self.env, self.fs.spec.open_s), self._opened)
+
+    def _opened(self, _v):
+        self.fs.stats.opens += 1
+        self._finish(self.inode)
+
+
+class _LocalUnlink(FlatOp):
+    """Flat counterpart of the unlink op."""
+
+    __slots__ = ("fs", "path", "inode")
+
+    def __init__(self, fs, path, inode):
+        self.fs = fs
+        self.path = path
+        self.inode = inode
+        super().__init__(fs.env)
+
+    def _start(self, event):
+        self._await(Timeout(self.env, self.fs.spec.unlink_s), self._after_cpu)
+
+    def _after_cpu(self, _v):
+        fs = self.fs
+        self._await(
+            fs.array.submit("write", fs._journal_offset(), fs.spec.journal_write_bytes),
+            self._journaled,
+        )
+
+    def _journaled(self, _v):
+        fs = self.fs
+        fs.cache.drop_file(self.inode.fileid)
+        del fs._inodes[self.path]
+        del fs._by_id[self.inode.fileid]
+        self._finish(None)
+
+
+class _LocalSerializedWrite(FlatOp):
+    """Flat counterpart of :meth:`LocalFS.submit_serialized_write`."""
+
+    __slots__ = ("fs", "inode", "req", "per_op_s", "_lock", "_grant")
+
+    def __init__(self, fs, inode, req, per_op_s):
+        self.fs = fs
+        self.inode = inode
+        self.req = req
+        self.per_op_s = per_op_s
+        self._lock = None
+        self._grant = None
+        super().__init__(fs.env)
+
+    def _start(self, event):
+        lock = self._lock = self.fs._ilock(self.inode)
+        grant = self._grant = lock.request()  # simlint: ignore[resource-release]
+        self._await(grant, self._locked)
+
+    def _locked(self, _v):
+        self._await(Timeout(self.env, self.req.count * self.per_op_s), self._after_cpu)
+
+    def _after_cpu(self, _v):
+        self._await(self.fs.submit(self.inode, self.req), self._written)
+
+    def _written(self, _v):
+        self._release()
+        self._finish(self.req.total_bytes)
+
+    def _release(self):
+        grant = self._grant
+        if grant is not None and grant in self._lock.users:
+            self._lock.release(grant)
+
+    def _cleanup(self):
+        # the generator's ``finally``
+        self._release()

@@ -10,13 +10,18 @@ tables and completion clocks across the four kernel modes:
 * ``baseline`` — all optimizations on (the shipped default);
 * ``no_fasthold`` — ``REPRO_NO_FASTHOLD``: generator serve paths;
 * ``no_coalesce`` — ``REPRO_NO_FASTPATH``: one wake per quantum;
+* ``no_fsfast`` — ``REPRO_NO_FSFAST``: generator filesystem/MPI-IO
+  serve paths instead of the flat state machines;
 * ``analytic`` — ``REPRO_ANALYTIC``: slice rings + numpy scatter.
 
 Coverage: the Aohyper characterization tables (iolib/localfs/nfs) for
 jbod, raid1 and raid5; all eight iozone workloads plus IOR and BT-IO;
-and synthetic slice-ring scenarios (plain rotation, a mid-window
-arrival that forces a dissolve, pivot at a non-zero member index, and
-idle-suffix members) that pin the ring adoption machinery directly.
+synthetic slice-ring scenarios (plain rotation, a mid-window arrival
+that forces a dissolve, pivot at a non-zero member index, and
+idle-suffix members) that pin the ring adoption machinery directly;
+and synthetic coupled-ring scenarios (two uplinks feeding one pivot,
+with mid-window foreign arrivals on either level) that pin the
+two-level adoption the same way.
 """
 
 from __future__ import annotations
@@ -42,20 +47,31 @@ from repro.workloads.btio import BTIOConfig, run_btio
 from conftest import small_config
 
 DEVICES = ("jbod", "raid1", "raid5")
-ALT_MODES = ("no_fasthold", "no_coalesce", "analytic")
+ALT_MODES = ("no_fasthold", "no_coalesce", "no_fsfast", "analytic")
 
 
 @contextlib.contextmanager
 def kernel_mode(mode: str):
     """Flip the kernel escape hatches for one run, then restore them."""
-    saved = (_kernel.FAST_HOLD, _kernel.QUANTUM_COALESCE, _analytic.ANALYTIC)
+    saved = (
+        _kernel.FAST_HOLD,
+        _kernel.QUANTUM_COALESCE,
+        _kernel.FS_FAST,
+        _analytic.ANALYTIC,
+    )
     try:
         _kernel.FAST_HOLD = mode != "no_fasthold"
         _kernel.QUANTUM_COALESCE = mode != "no_coalesce"
+        _kernel.FS_FAST = mode != "no_fsfast"
         _analytic.ANALYTIC = mode == "analytic"
         yield
     finally:
-        _kernel.FAST_HOLD, _kernel.QUANTUM_COALESCE, _analytic.ANALYTIC = saved
+        (
+            _kernel.FAST_HOLD,
+            _kernel.QUANTUM_COALESCE,
+            _kernel.FS_FAST,
+            _analytic.ANALYTIC,
+        ) = saved
 
 
 # ----------------------------------------------------------------------
@@ -209,6 +225,73 @@ def test_ring_scenarios_match_exact(name):
             # the ring must actually have formed: analytic runs replace
             # per-quantum calendar entries with one wake per window
             assert seq < ref_seq, f"{name}: analytic mode never adopted a ring"
+
+
+# ----------------------------------------------------------------------
+# synthetic coupled-ring scenarios: two uplinks feeding one pivot
+# ----------------------------------------------------------------------
+def _build_coupled(env, times, foreign_at=None, foreign_level=None):
+    """Four holders on two capacity-1 uplinks all holding one shared
+    pivot: the two-level rotation (client uplink x server downlink)
+    that defeats the single-pivot criterion.  Starts are staggered so
+    the steady window forms mid-rotation; an optional foreign holder
+    arrives mid-window on either level and must dissolve the ring."""
+    pivot = Resource(env, capacity=1)
+    up_a = Resource(env, capacity=1)
+    up_c = Resource(env, capacity=1)
+
+    def start(name, res_list, total, at):
+        def go(ev):
+            h = _BenchHold(env, res_list, total, 0.020)
+            h.result.callbacks.append(lambda e, n=name: times.append((n, env.now)))
+
+        if at == 0.0:
+            go(None)
+        else:
+            Timeout(env, at).callbacks.append(go)
+
+    start("A", [up_a, pivot], 0.500, 0.0)
+    start("C", [up_c, pivot], 0.450, 0.001)
+    start("B", [up_a, pivot], 0.300, 0.002)
+    start("D", [up_c, pivot], 0.350, 0.003)
+    if foreign_at is not None:
+        level = {"pivot": pivot, "uplink_a": up_a, "uplink_c": up_c}[foreign_level]
+
+        def foreign(ev):
+            h = _BenchHold(env, [level], 0.040, 0.020)
+            h.result.callbacks.append(lambda e: times.append(("foreign", env.now)))
+
+        Timeout(env, foreign_at).callbacks.append(foreign)
+
+
+_COUPLED_SCENARIOS = {
+    "coupled_plain": {},
+    "coupled_foreign_pivot": dict(foreign_at=0.137, foreign_level="pivot"),
+    "coupled_foreign_uplink_a": dict(foreign_at=0.211, foreign_level="uplink_a"),
+    "coupled_foreign_uplink_c": dict(foreign_at=0.093, foreign_level="uplink_c"),
+}
+
+
+def _run_coupled(kwargs, mode: str):
+    times: list = []
+    with kernel_mode(mode):
+        env = Environment()
+        _build_coupled(env, times, **kwargs)
+        env.run()
+    return times, env._seq
+
+
+@pytest.mark.parametrize("name", sorted(_COUPLED_SCENARIOS))
+def test_coupled_ring_scenarios_match_exact(name):
+    kwargs = _COUPLED_SCENARIOS[name]
+    ref_times, ref_seq = _run_coupled(kwargs, "baseline")
+    assert len(ref_times) >= 4, "scenario completed too few holders"
+    times, seq = _run_coupled(kwargs, "analytic")
+    assert times == ref_times, f"{name}: analytic diverged from exact DES"
+    # the coupled ring must actually collapse the calendar: the whole
+    # point of the two-level adoption is one wake per window instead of
+    # one entry per quantum per member
+    assert seq < ref_seq, f"{name}: analytic mode never adopted a coupled ring"
 
 
 # ----------------------------------------------------------------------
