@@ -59,8 +59,10 @@ checks the failure classes this codebase has actually met:
     flagged.
 
 The first four rules apply only inside the simulation packages
-(:data:`SIM_PACKAGES`); ``generator-serve`` only inside the storage
-and hardware layers; ``unit-mix`` applies everywhere.  Intentional
+(:data:`SIM_PACKAGES`, which includes the workload-grammar and
+trace-ingestion layers — their outputs feed the DES and its caches);
+``generator-serve`` only inside the storage and hardware layers;
+``unit-mix`` applies everywhere.  Intentional
 exceptions are allowlisted with ``# simlint: ignore[rule]`` (or a bare
 ``# simlint: ignore``) on the offending line, and whole files with
 ``# simlint: skip-file``.
@@ -101,9 +103,13 @@ RULES: tuple[str, ...] = (
 SERVE_PACKAGES: frozenset[str] = frozenset({"storage", "hardware"})
 
 #: packages whose code runs inside (or feeds) the DES — the scope of
-#: the determinism rules
+#: the determinism rules.  ``workloads`` and ``tracing`` are in scope
+#: since the grammar/ingest layers: compiled specs and replayed traces
+#: feed the simulation, so nondeterminism there corrupts fingerprint-
+#: keyed caches just as surely as in the kernel itself
 SIM_PACKAGES: frozenset[str] = frozenset(
-    {"simengine", "mpi", "storage", "hardware", "core", "faults"}
+    {"simengine", "mpi", "storage", "hardware", "core", "faults",
+     "workloads", "tracing"}
 )
 
 _TIME_FUNCS = frozenset(

@@ -13,9 +13,16 @@ Subcommands mirror the methodology's phases:
   exports JSON/CSV reports and JSONL/Chrome-format traces.
 * ``perf`` — benchmark the methodology itself: serial vs parallel vs
   cached characterization timings, written as machine-readable JSON.
+* ``workload`` — validate or compile declarative workload spec files
+  (the JSON/YAML grammar; see :mod:`repro.workloads.grammar`).
 * ``lint`` — run the simlint static checks (determinism, units,
   resource-release safety; see :mod:`repro.analysis.simlint`).
 * ``list`` — show the available cluster configurations and workloads.
+
+``evaluate``/``predict``/``report`` take the workload either as a
+named benchmark adapter (``btio``/``madbench``), a spec file
+(``--workload spec.yaml``), or a portable trace capture
+(``--trace capture.csv``, produced by ``report --trace-format csv``).
 
 ``evaluate``/``report`` accept ``--sanitize`` to attach the runtime
 sim-sanitizer (invariant checks; also ``REPRO_SANITIZE=1``) — a
@@ -70,6 +77,28 @@ def _configs(names: list[str]) -> dict:
 
 
 def _app(args):
+    spec_src = getattr(args, "workload_spec", None)
+    trace_src = getattr(args, "trace", None)
+    chosen = [s for s in (args.workload, spec_src, trace_src) if s]
+    if len(chosen) != 1:
+        raise SystemExit(
+            "choose exactly one workload: a named workload (btio/madbench), "
+            "--workload SPEC.{yaml,json} or --trace CAPTURE.csv"
+        )
+    if spec_src:
+        from .workloads.grammar import WorkloadSpecError, load_spec
+
+        try:
+            return load_spec(spec_src)
+        except (OSError, WorkloadSpecError) as exc:
+            raise SystemExit(f"cannot load workload spec {spec_src!r}: {exc}")
+    if trace_src:
+        from .tracing.ingest import IngestError, load_trace_workload
+
+        try:
+            return load_trace_workload(trace_src)
+        except (OSError, IngestError) as exc:
+            raise SystemExit(f"cannot load trace {trace_src!r}: {exc}")
     if args.workload == "btio":
         return BTIOApplication(
             BTIOConfig(clazz=args.clazz, nprocs=args.nprocs, subtype=args.subtype)
@@ -110,6 +139,10 @@ def cmd_list(_args) -> int:
     print("workloads:")
     print("  btio       NAS BT-IO (--class, --nprocs, --subtype full|simple)")
     print("  madbench   MADbench2 (--kpix, --nprocs, --filetype unique|shared)")
+    print("  --workload SPEC.{yaml,json}  declarative grammar spec "
+          "(see `repro workload validate|compile`)")
+    print("  --trace CAPTURE.csv          replay a portable trace "
+          "(from `repro report --trace-format csv`)")
     return 0
 
 
@@ -191,7 +224,10 @@ def cmd_evaluate(args) -> int:
     _characterize(m, args)
     app = _app(args)
     faults = _load_faults(args)
-    print(f"evaluating {app.name} ...", file=sys.stderr)
+    from .fingerprint import workload_fingerprint
+
+    print(f"evaluating {app.name} [workload {workload_fingerprint(app)}] ...",
+          file=sys.stderr)
     reports = m.evaluate(app, n_jobs=args.jobs, faults=faults)
     print(format_run_metrics(reports))
     for op in ("write", "read"):
@@ -211,6 +247,77 @@ def cmd_lint(args) -> int:
     if args.format != "text":
         argv += ["--format", args.format]
     return simlint_main(argv)
+
+
+def cmd_workload(args) -> int:
+    """Validate/compile declarative workload spec files (the grammar)."""
+    from .workloads.grammar import (
+        WorkloadSpecError,
+        compile_spec,
+        is_workload_spec,
+        load_document,
+        spec_fingerprint,
+        spec_name,
+    )
+
+    if args.wcommand == "validate":
+        bad = 0
+        for path in args.files:
+            try:
+                doc = load_document(path)
+            except OSError as exc:
+                print(f"{path}: ERROR: {exc}")
+                bad += 1
+                continue
+            except WorkloadSpecError as exc:
+                print(f"{path}: PARSE ERROR: {exc}")
+                bad += 1
+                continue
+            if args.skip_foreign and not is_workload_spec(doc):
+                print(f"{path}: skipped (not a workload spec)")
+                continue
+            try:
+                spec = compile_spec(doc)
+            except WorkloadSpecError as exc:
+                print(f"{path}: INVALID")
+                for err in exc.errors:
+                    print(f"  - {err}")
+                bad += 1
+                continue
+            print(f"{path}: ok ({len(spec.phases)} phase(s), "
+                  f"nprocs={spec.nprocs}, fingerprint={spec_fingerprint(spec)})")
+        return 1 if bad else 0
+
+    # wcommand == "compile": show the compiled phase program
+    import json as _json
+
+    from .fingerprint import canonicalize
+
+    try:
+        doc = load_document(args.file)
+        spec = compile_spec(doc)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.file!r}: {exc}")
+    except WorkloadSpecError as exc:
+        print(f"{args.file}: INVALID", file=sys.stderr)
+        for err in exc.errors:
+            print(f"  - {err}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(canonicalize(spec), indent=2, sort_keys=True))
+        return 0
+    name = spec_name(doc, Path(str(args.file)).stem)
+    layout = "file-per-process" if spec.per_process_files else "shared"
+    print(f"workload {name!r}: nprocs={spec.nprocs} path={spec.path} "
+          f"layout={layout} rank_disjoint={spec.rank_disjoint}")
+    print(f"fingerprint: {spec_fingerprint(spec)}")
+    print(f"{'#':>3} {'op':<6} {'nbytes':>10} {'count':>6} {'stride':>10} "
+          f"{'reps':>5} {'coll':>5} {'compute_s':>10}")
+    for i, ph in enumerate(spec.phases):
+        stride = "-" if ph.stride is None else str(ph.stride)
+        print(f"{i:>3} {ph.op:<6} {ph.nbytes:>10} {ph.count:>6} {stride:>10} "
+              f"{ph.repetitions:>5} {str(ph.collective):>5} {ph.compute_s:>10.4f}")
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -246,17 +353,33 @@ def cmd_report(args) -> int:
         Path(args.csv).write_text(report_to_csv(report))
         print(f"  -> wrote {args.csv}", file=sys.stderr)
     if args.trace_out:
-        from .obs.export import write_chrome_trace, write_events_jsonl
+        if args.trace_format == "csv":
+            # portable per-event capture, replayable via `evaluate
+            # --trace` / ingest; one file per configuration
+            from .tracing.darshan import events_to_csv
+            from .tracing.tracer import IOTracer
 
-        runs = {
-            name: {"events": r.events or [], "replay": r.replay_phases}
-            for name, r in reports.items()
-        }
-        if args.trace_format == "chrome":
-            write_chrome_trace(args.trace_out, runs, app=app.name)
+            out = Path(args.trace_out)
+            for name, r in reports.items():
+                tracer = IOTracer(world_size=r.profile.nprocs)
+                for e in r.events or []:
+                    tracer.record(e.rank, e)
+                target = (out if len(reports) == 1
+                          else out.with_name(f"{out.stem}.{name}{out.suffix}"))
+                target.write_text(events_to_csv(tracer))
+                print(f"  -> wrote {target} (portable csv)", file=sys.stderr)
         else:
-            write_events_jsonl(args.trace_out, runs, meta={"app": app.name})
-        print(f"  -> wrote {args.trace_out} ({args.trace_format})", file=sys.stderr)
+            from .obs.export import write_chrome_trace, write_events_jsonl
+
+            runs = {
+                name: {"events": r.events or [], "replay": r.replay_phases}
+                for name, r in reports.items()
+            }
+            if args.trace_format == "chrome":
+                write_chrome_trace(args.trace_out, runs, app=app.name)
+            else:
+                write_events_jsonl(args.trace_out, runs, meta={"app": app.name})
+            print(f"  -> wrote {args.trace_out} ({args.trace_format})", file=sys.stderr)
     _faults_summary(reports)
     if _sanitizer_summary(reports):
         print("ERROR: sanitizer reported invariant violations", file=sys.stderr)
@@ -268,13 +391,25 @@ def cmd_predict(args) -> int:
     m = _methodology(args)
     print("characterizing ...", file=sys.stderr)
     _characterize(m, args)
-    app = _app(args)
-    # one (cheap) reference run on the first configuration builds the
-    # system-independent application profile
-    first = next(iter(m.configs))
-    print(f"profiling {app.name} on {first!r} ...", file=sys.stderr)
-    reports = m.evaluate(app, names=[first])
-    profile = reports[first].profile
+    trace_src = getattr(args, "trace", None)
+    if trace_src:
+        # a captured trace already characterizes the application — no
+        # reference run needed, predict straight from the tables
+        from .tracing.ingest import IngestError
+
+        print(f"profiling trace {trace_src!r} ...", file=sys.stderr)
+        try:
+            profile = m.characterize_trace(trace_src)
+        except (OSError, IngestError) as exc:
+            raise SystemExit(f"cannot load trace {trace_src!r}: {exc}")
+    else:
+        app = _app(args)
+        # one (cheap) reference run on the first configuration builds
+        # the system-independent application profile
+        first = next(iter(m.configs))
+        print(f"profiling {app.name} on {first!r} ...", file=sys.stderr)
+        reports = m.evaluate(app, names=[first])
+        profile = reports[first].profile
     print(f"{'configuration':<14}{'predicted I/O time':>20}{'limiting levels':>30}")
     for pred in rank_predicted(profile, m.tables):
         levels = ", ".join(f"{k}:{v}" for k, v in pred.limiting_levels().items())
@@ -630,12 +765,22 @@ def build_parser() -> argparse.ArgumentParser:
     c.set_defaults(func=cmd_characterize)
 
     def workload(sp):
-        sp.add_argument("workload", choices=["btio", "madbench"])
+        sp.add_argument("workload", nargs="?", default=None,
+                        choices=["btio", "madbench"],
+                        help="a built-in benchmark adapter (or use "
+                             "--workload/--trace instead)")
         sp.add_argument("--nprocs", type=int, default=16)
         sp.add_argument("--class", dest="clazz", default="A", help="BT-IO class (S/W/A/B/C)")
         sp.add_argument("--subtype", default="full", choices=["full", "simple"])
         sp.add_argument("--kpix", type=int, default=6, help="MADbench2 KPIX")
         sp.add_argument("--filetype", default="shared", choices=["unique", "shared"])
+        sp.add_argument("--workload", dest="workload_spec", default=None,
+                        metavar="SPEC",
+                        help="declarative workload spec file (JSON or YAML "
+                             "grammar; see `repro workload validate`)")
+        sp.add_argument("--trace", dest="trace", default=None, metavar="FILE",
+                        help="replay a portable trace capture (csv format "
+                             "from `repro report --trace-format csv`)")
 
     e = sub.add_parser("evaluate", help="phase 3: run a workload per configuration")
     common(e)
@@ -658,9 +803,11 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--csv", metavar="FILE", help="write the run report as flat CSV")
     rp.add_argument("--trace-out", metavar="FILE",
                     help="write the MPI-IO event trace to FILE")
-    rp.add_argument("--trace-format", choices=["chrome", "jsonl"], default="chrome",
+    rp.add_argument("--trace-format", choices=["chrome", "jsonl", "csv"],
+                    default="chrome",
                     help="trace file format (default: chrome, for "
-                         "chrome://tracing / Perfetto)")
+                         "chrome://tracing / Perfetto; csv = portable "
+                         "capture replayable via `evaluate --trace`)")
     rp.add_argument("--window", type=float, default=None,
                     help="utilization sampling window in simulated seconds "
                          "(default: 0.05, width doubles on long runs)")
@@ -690,6 +837,24 @@ def build_parser() -> argparse.ArgumentParser:
                          "one pstats table (default: 5; quick runs are too "
                          "short for a stable top-25 from a single run)")
     pf.set_defaults(func=cmd_perf)
+
+    wl = sub.add_parser("workload", help="validate/compile declarative "
+                                         "workload spec files")
+    wsub = wl.add_subparsers(dest="wcommand", required=True)
+    wv = wsub.add_parser("validate", help="validate spec files against the "
+                                          "workload grammar")
+    wv.add_argument("files", nargs="+", metavar="SPEC",
+                    help="spec files (JSON or YAML)")
+    wv.add_argument("--skip-foreign", action="store_true",
+                    help="skip files that are valid JSON/YAML but not "
+                         "workload specs (e.g. fault schedules)")
+    wv.set_defaults(func=cmd_workload)
+    wc = wsub.add_parser("compile", help="print the compiled phase program "
+                                         "of one spec file")
+    wc.add_argument("file", metavar="SPEC")
+    wc.add_argument("--json", action="store_true",
+                    help="emit the canonical JSON form instead of a table")
+    wc.set_defaults(func=cmd_workload)
 
     ln = sub.add_parser("lint", help="simlint static checks (determinism, "
                                      "units, resource-release safety)")

@@ -326,6 +326,24 @@ class Methodology:
                     )
         return self.tables
 
+    def characterize_trace(
+        self, trace, access: AccessType = AccessType.GLOBAL
+    ) -> AppProfile:
+        """Phase 1, application side, from an imported trace.
+
+        ``trace`` is an :class:`~repro.tracing.IOTracer` or anything
+        :func:`repro.tracing.ingest.load_trace` accepts (a portable
+        trace file path or its text).  The resulting profile feeds
+        :meth:`recommend` / prediction directly — a captured
+        production trace ranks candidate configurations without a
+        single simulated application run.
+        """
+        from ..tracing.ingest import load_trace
+
+        if not isinstance(trace, IOTracer):
+            trace = load_trace(trace)
+        return characterize_app(trace, access=access)
+
     # ------------------------------------------------------------------
     # phase 2: configuration analysis
     # ------------------------------------------------------------------

@@ -22,7 +22,7 @@ import hashlib
 import json
 from typing import Any
 
-__all__ = ["canonicalize", "fingerprint"]
+__all__ = ["canonicalize", "fingerprint", "workload_fingerprint"]
 
 
 def canonicalize(obj: Any) -> Any:
@@ -60,3 +60,25 @@ def fingerprint(*objs: Any) -> str:
         [canonicalize(o) for o in objs], sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def workload_fingerprint(app: Any) -> str:
+    """The content identity of an evaluation-phase workload.
+
+    Routing: a workload that knows its own identity (``fingerprint()``
+    method — spec-compiled and trace-replayed applications hash their
+    compiled phase program, benchmark adapters their config) is asked
+    directly; anything else falls back to a digest of its class name
+    and canonical ``config``/``name`` attributes.  Two spec files — or
+    a spec file and a re-imported trace — that compile to the same
+    phase program therefore share a fingerprint, which is what lets
+    them dedupe in caches and sweep schedulers.
+    """
+    fp = getattr(app, "fingerprint", None)
+    if callable(fp):
+        return fp()
+    return fingerprint(
+        type(app).__name__,
+        getattr(app, "config", None),
+        getattr(app, "name", ""),
+    )

@@ -275,6 +275,10 @@ class MPIWorld:
         self.cluster = cluster
         self.nprocs = nprocs
         self.tracer = tracer
+        if tracer is not None:
+            # declare the world size so idle ranks (no I/O events)
+            # still count in tracer.nranks / per-rank averages
+            tracer.set_world_size(nprocs)
         self.io_hints = dict(io_hints or {})
         #: per-run phase-replay accelerator (one world = one app run)
         self.replay = PhaseReplayAccelerator(replay_settings)

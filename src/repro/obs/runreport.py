@@ -18,6 +18,8 @@ from __future__ import annotations
 import json
 from typing import Optional
 
+from ..units import fmt_bytes
+
 __all__ = [
     "REPORT_SCHEMA",
     "build_run_report",
@@ -128,12 +130,8 @@ def report_to_csv(report: dict) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _fmt_bytes(n: float) -> str:
-    for unit in ("B", "KiB", "MiB", "GiB"):
-        if abs(n) < 1024 or unit == "GiB":
-            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
-        n /= 1024.0
-    return f"{n:.1f}GiB"  # pragma: no cover - loop always returns
+#: shared with the darshan-style summary renderer (repro.units)
+_fmt_bytes = fmt_bytes
 
 
 def render_run_report(reports: dict) -> str:

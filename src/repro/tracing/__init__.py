@@ -2,6 +2,14 @@
 
 from .darshan import build_report, DarshanReport, events_from_csv, events_to_csv, FileRecord
 from .events import IOEvent, PhaseEvent
+from .ingest import (
+    IngestError,
+    load_trace,
+    load_trace_workload,
+    report_to_spec,
+    trace_coverage,
+    trace_to_spec,
+)
 from .phases import PhaseDetector, detect_phases
 from .timeline import render_timeline
 from .tracer import IOTracer, TraceSummary
@@ -12,6 +20,12 @@ __all__ = [
     "events_from_csv",
     "events_to_csv",
     "FileRecord",
+    "IngestError",
+    "load_trace",
+    "load_trace_workload",
+    "report_to_spec",
+    "trace_coverage",
+    "trace_to_spec",
     "IOEvent",
     "PhaseEvent",
     "PhaseDetector",

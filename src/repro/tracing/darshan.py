@@ -15,6 +15,7 @@ import io
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..units import fmt_bytes
 from .events import IOEvent
 from .tracer import IOTracer
 
@@ -59,7 +60,15 @@ class FileRecord:
             self.writes += e.count
             self.bytes_written += e.total_bytes
             self.write_time_s += e.duration
-        self.max_offset = max(self.max_offset, e.offset + e.count * (e.stride or e.nbytes))
+        # extent of a strided bulk op: the last of `count` transfers
+        # starts at offset + (count-1)*stride and covers nbytes — using
+        # count*stride would overstate the file extent whenever
+        # stride > nbytes (replay specs would allocate oversized files)
+        if e.stride is not None:
+            extent = e.offset + (e.count - 1) * e.stride + e.nbytes
+        else:
+            extent = e.offset + e.count * e.nbytes
+        self.max_offset = max(self.max_offset, extent)
         if e.collective:
             self.collective_ops += e.count
         else:
@@ -100,8 +109,8 @@ class DarshanReport:
         for path, f in sorted(self.files.items()):
             lines.append(
                 f"  {path} [{'shared' if f.shared else 'unique'}]"
-                f" reads={f.reads} ({f.bytes_read >> 20} MiB)"
-                f" writes={f.writes} ({f.bytes_written >> 20} MiB)"
+                f" reads={f.reads} ({fmt_bytes(f.bytes_read)})"
+                f" writes={f.writes} ({fmt_bytes(f.bytes_written)})"
                 f" dominant access={f.dominant_bucket}"
                 f" collective={f.collective_ops}/{f.collective_ops + f.independent_ops}"
             )
@@ -124,10 +133,22 @@ def build_report(tracer: IOTracer) -> DarshanReport:
 # ----------------------------------------------------------------------
 _FIELDS = ("rank", "op", "offset", "nbytes", "count", "stride", "t_start", "t_end", "path", "collective")
 
+#: leading metadata line of a portable trace; carries what the event
+#: rows cannot (the MPI world size, so idle ranks survive round trips)
+_META_PREFIX = "#repro-trace"
+_META_VERSION = 1
+
 
 def events_to_csv(tracer: IOTracer) -> str:
-    """Serialise the event stream (offsets/times exact, text-portable)."""
+    """Serialise the event stream (offsets/times exact, text-portable).
+
+    The first line is a ``#repro-trace`` metadata comment recording the
+    format version and the capture's world size; the CSV header and
+    rows follow.  :func:`events_from_csv` also accepts plain headerless
+    captures without the metadata line.
+    """
     buf = io.StringIO()
+    buf.write(f"{_META_PREFIX} v{_META_VERSION} world_size={tracer.nranks}\n")
     w = csv.writer(buf)
     w.writerow(_FIELDS)
     for e in tracer.events:
@@ -141,8 +162,18 @@ def events_to_csv(tracer: IOTracer) -> str:
 
 def events_from_csv(text: str) -> IOTracer:
     """Rebuild a tracer from :func:`events_to_csv` output."""
-    tracer = IOTracer()
-    for rec in csv.DictReader(io.StringIO(text)):
+    world_size: Optional[int] = None
+    lines = text.splitlines(keepends=True)
+    body = 0
+    while body < len(lines) and lines[body].startswith("#"):
+        line = lines[body].strip()
+        if line.startswith(_META_PREFIX):
+            for token in line.split():
+                if token.startswith("world_size="):
+                    world_size = int(token.partition("=")[2])
+        body += 1
+    tracer = IOTracer(world_size=world_size)
+    for rec in csv.DictReader(io.StringIO("".join(lines[body:]))):
         ev = IOEvent(
             rank=int(rec["rank"]),
             op=rec["op"],

@@ -1,0 +1,306 @@
+"""Trace ingestion: portable trace files folded back into workloads.
+
+The paper's methodology characterizes an application from its traced
+I/O behavior; this module closes the loop by turning captured traces
+back into *runnable* workloads, so every imported trace is a new
+evaluation scenario for free (ROADMAP item 2, after the
+Directly-Follows-Graph replay approach in PAPERS.md):
+
+* :func:`load_trace` reads the portable ``events_to_csv`` format
+  (Darshan-style per-event rows plus a world-size header).
+* :func:`trace_to_spec` folds the event stream through
+  :class:`~repro.tracing.phases.PhaseDetector` grouping into a
+  :class:`~repro.workloads.synthetic.SyntheticSpec` phase program —
+  geometry (block size, bulk count, stride), per-rank repetitions,
+  collective flags and layout (shared vs file-per-process) are all
+  recovered from the events.
+* :func:`report_to_spec` builds a *representative* spec from the
+  compressed per-file counters of a :class:`~repro.tracing.darshan.
+  DarshanReport` — lossier than event replay, but works from the
+  summary alone.
+* :func:`load_trace_workload` wires a trace file straight into an
+  evaluation-ready application.
+
+Reconstruction is deterministic: the same trace always yields the
+same spec, so a replayed trace shares its compiled fingerprint with
+any spec file that compiles to the same phase program.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from pathlib import Path
+from typing import Optional, Union
+
+from typing import TYPE_CHECKING
+
+from .darshan import DarshanReport, events_from_csv
+from .events import IOEvent
+from .tracer import IOTracer
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..workloads.synthetic import SyntheticSpec
+
+# NOTE: repro.workloads imports repro.tracing (the tracer types), so
+# the reverse imports here stay inside function bodies — ingestion is
+# the one place the trace layer *produces* workload objects.
+
+__all__ = [
+    "IngestError",
+    "load_trace",
+    "trace_to_spec",
+    "report_to_spec",
+    "load_trace_workload",
+    "trace_coverage",
+]
+
+#: per-process file name convention: "<base>.<rank>"
+_RANK_SUFFIX_RE = re.compile(r"^(?P<base>.+)\.(?P<rank>\d+)$")
+
+
+class IngestError(ValueError):
+    """A trace could not be folded into a runnable workload."""
+
+
+def load_trace(source: Union[str, Path]) -> IOTracer:
+    """An :class:`IOTracer` from a portable trace file or literal text."""
+    if isinstance(source, Path):
+        text = source.read_text(encoding="utf-8")
+    elif isinstance(source, str) and "\n" not in source:
+        # a newline-free string is a file name, never literal CSV (a
+        # real capture is multi-line) — fail clearly when it's missing
+        if not Path(source).is_file():
+            raise IngestError(f"no such trace file: {source!r}")
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = str(source)
+    try:
+        return events_from_csv(text)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise IngestError(f"malformed trace: {exc}")
+
+
+# ----------------------------------------------------------------------
+# event replay: trace -> phase program
+# ----------------------------------------------------------------------
+def _strip_rank_suffix(path: str) -> str:
+    m = _RANK_SUFFIX_RE.match(path)
+    return m.group("base") if m else path
+
+
+def _file_per_process(events: list[IOEvent], nranks: int) -> Optional[str]:
+    """The common base path if the trace is file-per-process, else None.
+
+    File-per-process means: more than one file, every file touched by
+    exactly one rank, and all paths share one ``<base>.<rank>`` stem.
+    """
+    by_path: dict[str, set] = defaultdict(set)
+    for e in events:
+        by_path[e.path].add(e.rank)
+    if len(by_path) < 2 or any(len(r) > 1 for r in by_path.values()):
+        return None
+    bases = set()
+    for path in by_path:
+        m = _RANK_SUFFIX_RE.match(path)
+        if m is None:
+            return None
+        bases.add(m.group("base"))
+    return bases.pop() if len(bases) == 1 else None
+
+
+def trace_to_spec(tracer: IOTracer, infer_compute: bool = False) -> "SyntheticSpec":
+    """Fold a traced run into a replayable phase program.
+
+    Events group by the :meth:`~repro.tracing.events.IOEvent.signature`
+    geometry the phase detector uses (operation, block size, bulk
+    count, access mode, file), in order of first appearance — each
+    group becomes one :class:`SyntheticPhase` whose repetitions are
+    the per-rank event count.  The layout (shared file vs
+    file-per-process, rank-disjoint vs overlapping offsets) is
+    recovered from paths and offsets.
+
+    For a shared-file trace touching several files the dominant file
+    (most bytes moved) is replayed and the rest dropped — check
+    :func:`trace_coverage` for the retained fraction.
+
+    ``infer_compute=True`` additionally reconstructs per-repetition
+    compute gaps from the mean idle time between a rank's consecutive
+    same-phase events.  It defaults to off because captured gaps fold
+    in synchronization noise, which would break the exact
+    spec -> trace -> spec fingerprint round trip.
+    """
+    from ..workloads.synthetic import SyntheticPhase, SyntheticSpec
+
+    events = [e for e in tracer.events if e.op in ("read", "write")]
+    if not events:
+        raise IngestError("trace has no read/write events to replay")
+    nprocs = max(tracer.nranks, 1)
+
+    fpp_base = _file_per_process(events, nprocs)
+    if fpp_base is None:
+        # shared file: keep the dominant path by bytes moved
+        bytes_by_path: dict[str, int] = defaultdict(int)
+        for e in events:
+            bytes_by_path[e.path] += e.total_bytes
+        dominant = max(sorted(bytes_by_path), key=lambda p: bytes_by_path[p])
+        events = [e for e in events if e.path == dominant]
+        path, per_process = dominant, False
+    else:
+        path, per_process = fpp_base, True
+
+    ordered = sorted(events, key=lambda e: (e.t_start, e.rank))
+    # group by geometry signature with per-process paths normalised,
+    # so every rank's private file folds into one phase
+    groups: dict[tuple, list[IOEvent]] = {}
+    order: list[tuple] = []
+    for e in ordered:
+        sig = (e.op, e.nbytes, e.count, e.mode.value, _strip_rank_suffix(e.path))
+        if sig not in groups:
+            groups[sig] = []
+            order.append(sig)
+        groups[sig].append(e)
+
+    # rank-disjoint detection (shared file only): distinct ranks using
+    # identical offsets for the same geometry means overlapping access
+    rank_disjoint = True
+    if not per_process and nprocs > 1:
+        for evs in groups.values():
+            first_offset: dict[int, int] = {}
+            for e in evs:
+                if e.rank not in first_offset:
+                    first_offset[e.rank] = e.offset
+            offs = list(first_offset.values())
+            if len(offs) > 1 and len(set(offs)) == 1:
+                rank_disjoint = False
+                break
+
+    phases: list[SyntheticPhase] = []
+    for sig in order:
+        op, nbytes, count, _mode, _path = sig
+        evs = groups[sig]
+        by_rank: dict[int, list[IOEvent]] = defaultdict(list)
+        for e in evs:
+            by_rank[e.rank].append(e)
+        repetitions = max(len(v) for v in by_rank.values())
+        stride = evs[0].stride
+        collective = any(e.collective for e in evs)
+        compute_s = 0.0
+        if infer_compute:
+            gaps = []
+            for rank_evs in by_rank.values():
+                for prev, nxt in zip(rank_evs, rank_evs[1:]):
+                    gaps.append(max(0.0, nxt.t_start - prev.t_end))
+            if gaps:
+                compute_s = sum(gaps) / len(gaps)
+        phases.append(
+            SyntheticPhase(
+                op=op,
+                nbytes=nbytes,
+                count=count,
+                stride=stride,
+                repetitions=repetitions,
+                collective=collective,
+                compute_s=compute_s,
+            )
+        )
+    return SyntheticSpec(
+        phases=tuple(phases),
+        nprocs=nprocs,
+        path=path,
+        per_process_files=per_process,
+        rank_disjoint=rank_disjoint,
+    )
+
+
+def trace_coverage(tracer: IOTracer, spec: "SyntheticSpec") -> float:
+    """Fraction of the trace's read/write bytes the spec replays.
+
+    1.0 when every event folded into the spec; lower when a
+    multi-file shared trace was reduced to its dominant file.
+    """
+    total = sum(e.total_bytes for e in tracer.events if e.op in ("read", "write"))
+    if total == 0:
+        return 1.0
+    if spec.per_process_files:
+        return 1.0
+    kept = sum(
+        e.total_bytes
+        for e in tracer.events
+        if e.op in ("read", "write") and e.path == spec.path
+    )
+    return kept / total
+
+
+# ----------------------------------------------------------------------
+# counter replay: DarshanReport -> representative spec
+# ----------------------------------------------------------------------
+def report_to_spec(report: DarshanReport) -> "SyntheticSpec":
+    """A representative phase program from per-file Darshan counters.
+
+    The compressed counters carry no event ordering, so this is
+    necessarily coarser than :func:`trace_to_spec`: the dominant file
+    (most bytes) becomes one write and/or one read phase whose block
+    size is the mean access size, repetitions spread the per-file
+    operation count over the ranks, and the collective flag follows
+    the majority of operations.
+    """
+    from ..workloads.synthetic import SyntheticPhase, SyntheticSpec
+
+    if not report.files:
+        raise IngestError("report has no file records")
+    nprocs = max(report.nranks, 1)
+    dominant = max(
+        sorted(report.files),
+        key=lambda p: report.files[p].bytes_read + report.files[p].bytes_written,
+    )
+    rec = report.files[dominant]
+    per_process = not rec.shared and len(report.files) > 1 and not report.shared_files
+    path = _strip_rank_suffix(dominant) if per_process else dominant
+    collective = rec.collective_ops >= rec.independent_ops and rec.collective_ops > 0
+
+    phases: list[SyntheticPhase] = []
+    for op, n_ops, total in (
+        ("write", rec.writes, rec.bytes_written),
+        ("read", rec.reads, rec.bytes_read),
+    ):
+        if n_ops <= 0 or total <= 0:
+            continue
+        nbytes = max(1, total // n_ops)
+        phases.append(
+            SyntheticPhase(
+                op=op,
+                nbytes=nbytes,
+                count=1,
+                stride=None,
+                repetitions=max(1, round(n_ops / nprocs)),
+                collective=collective,
+            )
+        )
+    if not phases:
+        raise IngestError(f"file record {dominant!r} has no transferred bytes")
+    return SyntheticSpec(
+        phases=tuple(phases),
+        nprocs=nprocs,
+        path=path,
+        per_process_files=per_process,
+        rank_disjoint=True,
+    )
+
+
+def load_trace_workload(source: Union[str, Path], infer_compute: bool = False):
+    """A ready-to-evaluate application replaying the trace in ``source``.
+
+    Returns a :class:`~repro.workloads.apps.SyntheticApplication`
+    labelled after the trace file.
+    """
+    from ..workloads.apps import SyntheticApplication
+
+    tracer = load_trace(source)
+    label = "trace"
+    if isinstance(source, Path):
+        label = f"trace-{source.stem}"
+    elif isinstance(source, str) and "\n" not in source and Path(source).is_file():
+        label = f"trace-{Path(source).stem}"
+    spec = trace_to_spec(tracer, infer_compute=infer_compute)
+    return SyntheticApplication(spec=spec, label=label)

@@ -45,24 +45,45 @@ class TraceSummary:
 
 
 class IOTracer:
-    """Per-rank event capture with aggregate queries."""
+    """Per-rank event capture with aggregate queries.
 
-    def __init__(self):
+    ``world_size`` is the MPI world the capture belongs to, recorded
+    when the tracer is wired into a world (``System.world`` /
+    ``MPIWorld``).  It makes :attr:`nranks` and the per-rank averages
+    (:meth:`io_time`) correct even when some ranks perform no I/O —
+    counting only ranks *with events* silently drops idle ranks.
+    """
+
+    def __init__(self, world_size: Optional[int] = None):
         self.events: list[IOEvent] = []
         self._by_rank: dict[int, list[IOEvent]] = defaultdict(list)
+        self.world_size: Optional[int] = world_size
 
     # -- capture -----------------------------------------------------------
     def record(self, rank: int, event: IOEvent) -> None:
         self.events.append(event)
         self._by_rank[rank].append(event)
 
+    def set_world_size(self, nprocs: int) -> None:
+        """Declare the world size at wiring time.
+
+        A tracer reused across several worlds (e.g. one capture over a
+        multi-job run) keeps the largest declared size.
+        """
+        self.world_size = max(self.world_size or 0, nprocs)
+
     def clear(self) -> None:
         self.events.clear()
         self._by_rank.clear()
+        self.world_size = None
 
     # -- queries ------------------------------------------------------------
     @property
     def nranks(self) -> int:
+        """Ranks in the capture: the declared world size when known,
+        else the count of ranks that produced events."""
+        if self.world_size is not None:
+            return self.world_size
         return len(self._by_rank)
 
     def rank_events(self, rank: int) -> list[IOEvent]:
@@ -96,11 +117,13 @@ class IOTracer:
         """
         if rank is not None:
             return sum(e.duration for e in self._by_rank.get(rank, []))
-        if not self._by_rank:
+        if self.nranks == 0:
             return 0.0
+        # average over the whole world, not only ranks with events —
+        # idle ranks observe zero blocking time but still count
         return sum(
             sum(e.duration for e in evs) for evs in self._by_rank.values()
-        ) / len(self._by_rank)
+        ) / self.nranks
 
     def wall_io_span(self) -> float:
         """Wall-clock span from first I/O start to last I/O end."""

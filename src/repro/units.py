@@ -1,0 +1,72 @@
+"""Shared unit helpers (leaf module, stdlib only).
+
+Byte-size formatting and parsing used across the run-report, the
+Darshan-style trace summaries and the workload grammar.  Sizes are
+binary (1 KiB = 1024 B); the parser also accepts the short ``K/M/G``
+and ``KB/MB/GB`` spellings with the same binary meaning, matching the
+IOzone/IOR convention the paper's tables use.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["fmt_bytes", "parse_bytes"]
+
+#: accepted unit spellings -> multiplier (binary, IOzone convention)
+_UNIT_MULTIPLIERS: dict[str, int] = {
+    "": 1,
+    "b": 1,
+    "k": 1024,
+    "kb": 1024,
+    "kib": 1024,
+    "m": 1024**2,
+    "mb": 1024**2,
+    "mib": 1024**2,
+    "g": 1024**3,
+    "gb": 1024**3,
+    "gib": 1024**3,
+}
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([a-zA-Z]*)\s*$")
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count: ``512B``, ``1.5KiB``, ``80.0MiB``."""
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024.0
+    return f"{n:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def parse_bytes(value) -> int:
+    """A byte count from an int or a unit-suffixed string (``"64KiB"``).
+
+    Integers pass through; strings take an optional binary unit suffix
+    (``B``, ``K``/``KB``/``KiB``, ``M``/``MB``/``MiB``,
+    ``G``/``GB``/``GiB``, case-insensitive).  Fractional values must
+    still resolve to a whole number of bytes (``"1.5KiB"`` is 1536).
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"not a byte count: {value!r}")
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError(f"byte count must be >= 0: {value!r}")
+        return value
+    if isinstance(value, float):
+        if not value.is_integer() or value < 0:
+            raise ValueError(f"byte count must be a whole number >= 0: {value!r}")
+        return int(value)
+    if not isinstance(value, str):
+        raise ValueError(f"not a byte count: {value!r}")
+    m = _SIZE_RE.match(value)
+    if m is None:
+        raise ValueError(f"malformed size {value!r} (want e.g. 4096, '64KiB', '1MiB')")
+    number, unit = m.group(1), m.group(2).lower()
+    if unit not in _UNIT_MULTIPLIERS:
+        raise ValueError(f"unknown size unit {m.group(2)!r} in {value!r}")
+    n = float(number) * _UNIT_MULTIPLIERS[unit]
+    if not float(n).is_integer():
+        raise ValueError(f"size {value!r} is not a whole number of bytes")
+    return int(n)

@@ -1,6 +1,6 @@
 """Workload generators: benchmarks and application models."""
 
-from .apps import BTIOApplication, MadBenchApplication
+from .apps import BTIOApplication, MadBenchApplication, SyntheticApplication
 from .btio import (
     BTIO_CLASSES,
     BTIOClass,
@@ -20,11 +20,24 @@ from .madbench import (
     MadBenchResult,
     run_madbench,
 )
+from .grammar import (
+    compile_spec,
+    load_spec,
+    spec_fingerprint,
+    validate_spec,
+    WorkloadSpecError,
+)
 from .synthetic import run_synthetic, SyntheticPhase, SyntheticResult, SyntheticSpec
 
 __all__ = [
     "BTIOApplication",
     "MadBenchApplication",
+    "SyntheticApplication",
+    "compile_spec",
+    "load_spec",
+    "spec_fingerprint",
+    "validate_spec",
+    "WorkloadSpecError",
     "BTIO_CLASSES",
     "BTIOClass",
     "BTIOConfig",

@@ -8,14 +8,15 @@ so one object can be evaluated across many I/O configurations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from ..clusters.builder import System
 from ..tracing import IOTracer
 from .btio import BTIOConfig, run_btio
 from .madbench import MadBenchConfig, run_madbench
+from .synthetic import SyntheticSpec, run_synthetic
 
-__all__ = ["BTIOApplication", "MadBenchApplication"]
+__all__ = ["BTIOApplication", "MadBenchApplication", "SyntheticApplication"]
 
 
 @dataclass
@@ -27,6 +28,12 @@ class BTIOApplication:
     @property
     def name(self) -> str:
         return f"btio-{self.config.clazz}-{self.config.nprocs}p-{self.config.subtype}"
+
+    def fingerprint(self) -> str:
+        """Stable workload identity (see repro.fingerprint.workload_fingerprint)."""
+        from ..fingerprint import fingerprint
+
+        return fingerprint(type(self).__name__, self.config)
 
     def run(self, system: System):
         from ..core.methodology import AppRun
@@ -53,6 +60,12 @@ class MadBenchApplication:
     def name(self) -> str:
         return f"madbench-{self.config.nprocs}p-{self.config.filetype}"
 
+    def fingerprint(self) -> str:
+        """Stable workload identity (see repro.fingerprint.workload_fingerprint)."""
+        from ..fingerprint import fingerprint
+
+        return fingerprint(type(self).__name__, self.config)
+
     def run(self, system: System):
         from ..core.methodology import AppRun
 
@@ -66,4 +79,47 @@ class MadBenchApplication:
             io_time_s=res.io_time,
             bytes_written=2 * nb,  # S + W
             bytes_read=2 * nb,  # W + C
+        )
+
+
+@dataclass
+class SyntheticApplication:
+    """A compiled phase program as an evaluation-phase application.
+
+    Both grammar specs (:func:`repro.workloads.grammar.load_spec`) and
+    ingested traces (:func:`repro.tracing.ingest.load_trace_workload`)
+    produce one of these, so every spec file and every imported trace
+    is an evaluation scenario with no further code.
+    """
+
+    spec: SyntheticSpec
+    label: str = "synthetic"
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    def fingerprint(self) -> str:
+        """Content hash of the compiled phase program only.
+
+        Deliberately excludes the display label: a spec file and a
+        re-imported trace that compile to the same phases dedupe to
+        the same identity.
+        """
+        from ..fingerprint import fingerprint
+
+        return fingerprint(self.spec)
+
+    def run(self, system: System):
+        from ..core.methodology import AppRun
+
+        tracer = IOTracer()
+        system.last_tracer = tracer
+        res = run_synthetic(system, self.spec, tracer=tracer)
+        return AppRun(
+            tracer=tracer,
+            execution_time_s=res.execution_time,
+            io_time_s=res.io_time,
+            bytes_written=sum(e.total_bytes for e in tracer.events if e.op == "write"),
+            bytes_read=sum(e.total_bytes for e in tracer.events if e.op == "read"),
         )

@@ -51,3 +51,77 @@ def test_predict_command(capsys):
     out = capsys.readouterr().out
     assert "predicted I/O time" in out
     assert "jbod" in out
+
+
+SPEC_YAML = """\
+version: 1
+name: cli-demo
+nprocs: 2
+phases:
+  - op: write
+    nbytes: 64KiB
+    count: 4
+"""
+
+
+def test_workload_source_is_exclusive():
+    # a named workload and a spec file at once is ambiguous
+    with pytest.raises(SystemExit):
+        main(["evaluate", "btio", "--workload", "spec.yaml",
+              "--configs", "jbod", "--block-step", "9"])
+    # and no workload at all is an error too
+    with pytest.raises(SystemExit):
+        main(["evaluate", "--configs", "jbod", "--block-step", "9"])
+
+
+def test_workload_validate(tmp_path, capsys):
+    good = tmp_path / "good.yaml"
+    good.write_text(SPEC_YAML)
+    foreign = tmp_path / "faults.json"
+    foreign.write_text('{"faults": []}')
+    bad = tmp_path / "bad.yaml"
+    bad.write_text("version: 1\nphases:\n  - op: append\n    nbytes: 4096\n")
+
+    assert main(["workload", "validate", str(good)]) == 0
+    out = capsys.readouterr().out
+    assert "ok (1 phase(s)" in out and "fingerprint=" in out
+
+    assert main(["workload", "validate", "--skip-foreign",
+                 str(good), str(foreign)]) == 0
+    out = capsys.readouterr().out
+    assert "skipped (not a workload spec)" in out
+
+    assert main(["workload", "validate", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "INVALID" in out and "phases[0].op" in out
+
+
+def test_workload_compile(tmp_path, capsys):
+    f = tmp_path / "demo.yaml"
+    f.write_text(SPEC_YAML)
+    assert main(["workload", "compile", str(f)]) == 0
+    out = capsys.readouterr().out
+    assert "workload 'cli-demo'" in out
+    assert "fingerprint:" in out
+    assert "write" in out
+
+    assert main(["workload", "compile", "--json", str(f)]) == 0
+    out = capsys.readouterr().out
+    assert '"SyntheticSpec"' in out
+
+
+def test_evaluate_spec_workload(tmp_path, capsys):
+    f = tmp_path / "demo.yaml"
+    f.write_text(SPEC_YAML)
+    rc = main(["evaluate", "--workload", str(f), "--configs", "jbod",
+               "--block-step", "9", "--ior-gib", "1"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "jbod" in captured.out
+    assert "evaluating cli-demo [workload " in captured.err
+
+
+def test_evaluate_missing_spec_fails_cleanly():
+    with pytest.raises(SystemExit, match="cannot load workload spec"):
+        main(["evaluate", "--workload", "/does/not/exist.yaml",
+              "--configs", "jbod", "--block-step", "9", "--ior-gib", "1"])

@@ -1,6 +1,7 @@
 """Darshan-style summary and trace round-trip tests."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.tracing import IOEvent, IOTracer, build_report, events_from_csv, events_to_csv
 
@@ -71,8 +72,19 @@ class TestCsvRoundTrip:
             assert a == b  # frozen dataclass equality, exact floats via repr
 
     def test_header(self):
-        line = events_to_csv(IOTracer()).splitlines()[0]
-        assert line.startswith("rank,op,offset,nbytes,count,stride")
+        meta, header = events_to_csv(IOTracer()).splitlines()[:2]
+        assert meta.startswith("#repro-trace v1 world_size=")
+        assert header.startswith("rank,op,offset,nbytes,count,stride")
+
+    def test_headerless_capture_still_parses(self):
+        # pre-metadata trace files (no #repro-trace line) stay loadable
+        text = events_to_csv(make_tracer())
+        headerless = "".join(
+            line for line in text.splitlines(keepends=True) if not line.startswith("#")
+        )
+        back = events_from_csv(headerless)
+        assert len(back.events) == len(make_tracer().events)
+        assert back.world_size is None
 
     def test_round_trip_preserves_queries(self):
         t = make_tracer()
@@ -80,3 +92,91 @@ class TestCsvRoundTrip:
         assert back.count_ops("write") == t.count_ops("write")
         assert back.io_time() == t.io_time()
         assert back.nranks == t.nranks
+
+
+# any printable path including CSV-hostile characters: separators,
+# quotes, comment markers, embedded newlines, non-ASCII
+_paths = st.text(
+    alphabet=st.sampled_from(list('abz/._-,"\'# \né')), min_size=1, max_size=30
+)
+_events = st.builds(
+    IOEvent,
+    rank=st.integers(0, 63),
+    op=st.sampled_from(["read", "write", "open", "close"]),
+    offset=st.integers(0, 1 << 40),
+    nbytes=st.integers(0, 1 << 30),
+    count=st.integers(1, 1 << 16),
+    stride=st.none() | st.integers(0, 1 << 30),
+    t_start=st.floats(0, 1e6, allow_nan=False, allow_infinity=False),
+    t_end=st.floats(0, 1e6, allow_nan=False, allow_infinity=False),
+    path=_paths,
+    collective=st.booleans(),
+)
+
+
+class TestCsvProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_events, max_size=20), st.none() | st.integers(1, 128))
+    def test_round_trip_exact(self, events, world_size):
+        t = IOTracer(world_size=world_size)
+        for e in events:
+            t.record(e.rank, e)
+        back = events_from_csv(events_to_csv(t))
+        # frozen-dataclass equality: paths verbatim, floats repr-exact,
+        # stride=None distinguished from stride=0
+        assert back.events == t.events
+        assert back.nranks == t.nranks
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_events, max_size=10))
+    def test_double_round_trip_stable(self, events):
+        t = IOTracer()
+        for e in events:
+            t.record(e.rank, e)
+        once = events_to_csv(events_from_csv(events_to_csv(t)))
+        assert once == events_to_csv(t)
+
+
+class TestAccountingRegressions:
+    def test_strided_extent_uses_stride_spacing(self):
+        # last of `count` transfers starts at offset + (count-1)*stride;
+        # the old count*nbytes extent underestimated sparse strided files
+        t = IOTracer()
+        t.record(0, ev(offset=1000, nbytes=512, count=100, stride=2048))
+        rec = build_report(t).files["/f"]
+        assert rec.max_offset == 1000 + 99 * 2048 + 512
+
+    def test_contiguous_extent_unchanged(self):
+        t = IOTracer()
+        t.record(0, ev(offset=1000, nbytes=512, count=100, stride=None))
+        rec = build_report(t).files["/f"]
+        assert rec.max_offset == 1000 + 100 * 512
+
+    def test_idle_ranks_count_in_nranks(self):
+        # a 4-rank world where only rank 0 does I/O: the declared world
+        # size must win over the count of ranks with events
+        t = IOTracer(world_size=4)
+        t.record(0, ev(rank=0, t0=0.0, t1=2.0))
+        assert t.nranks == 4
+        assert t.io_time() == pytest.approx(0.5)  # 2s over 4 ranks, not 1
+
+    def test_world_size_survives_csv_round_trip(self):
+        t = IOTracer(world_size=8)
+        t.record(0, ev(rank=0))
+        back = events_from_csv(events_to_csv(t))
+        assert back.nranks == 8
+        assert build_report(back).nranks == 8
+
+    def test_set_world_size_keeps_largest(self):
+        t = IOTracer()
+        t.set_world_size(4)
+        t.set_world_size(2)
+        assert t.nranks == 4
+
+    def test_render_shows_sub_mib_sizes(self):
+        # the old `bytes >> 20` truncated 4096B to "0 MiB"
+        t = IOTracer()
+        t.record(0, ev(nbytes=4096, count=1))
+        text = build_report(t).render()
+        assert "4.0KiB" in text
+        assert "0MiB" not in text and "(0)" not in text

@@ -1,0 +1,198 @@
+"""Trace ingestion: spec -> trace -> spec round trips and replay."""
+
+import pytest
+
+from conftest import small_config
+from repro.core import Methodology
+from repro.fingerprint import fingerprint, workload_fingerprint
+from repro.storage.base import KiB, MiB
+from repro.tracing import (
+    IOTracer,
+    build_report,
+    events_to_csv,
+    IngestError,
+    load_trace,
+    load_trace_workload,
+    report_to_spec,
+    trace_coverage,
+    trace_to_spec,
+)
+from repro.workloads import SyntheticApplication, compile_spec
+from repro.workloads.synthetic import SyntheticPhase, SyntheticSpec
+
+KW = dict(block_sizes=(256 * KiB,), char_file_bytes=8 * MiB,
+          ior_nprocs=2, ior_file_bytes=8 * MiB)
+
+SHARED = SyntheticSpec(
+    phases=(
+        SyntheticPhase(op="write", nbytes=64 * KiB, count=8, repetitions=2,
+                       collective=True),
+        SyntheticPhase(op="read", nbytes=256 * KiB, count=4),
+    ),
+    nprocs=4,
+    path="/nfs/shared.dat",
+)
+
+FPP = SyntheticSpec(
+    phases=(SyntheticPhase(op="write", nbytes=128 * KiB, count=4),),
+    nprocs=4,
+    path="/nfs/private.dat",
+    per_process_files=True,
+)
+
+
+@pytest.fixture(scope="module")
+def methodology():
+    m = Methodology({"jbod": small_config("jbod")}, **KW)
+    m.characterize()
+    return m
+
+
+def capture(methodology, spec) -> str:
+    """Run the spec once and export its portable csv trace."""
+    app = SyntheticApplication(spec=spec, label="capture")
+    reports = methodology.evaluate(app, keep_events=True)
+    r = reports["jbod"]
+    tracer = IOTracer(world_size=r.profile.nprocs)
+    for e in r.events:
+        tracer.record(e.rank, e)
+    return events_to_csv(tracer)
+
+
+class TestRoundTrip:
+    def test_shared_spec_fingerprint_exact(self, methodology):
+        text = capture(methodology, SHARED)
+        back = trace_to_spec(load_trace(text))
+        assert fingerprint(back) == fingerprint(SHARED)
+
+    def test_file_per_process_detected(self, methodology):
+        text = capture(methodology, FPP)
+        back = trace_to_spec(load_trace(text))
+        assert back.per_process_files
+        assert back.path == FPP.path
+        assert fingerprint(back) == fingerprint(FPP)
+
+    def test_coverage_full(self, methodology):
+        tracer = load_trace(capture(methodology, SHARED))
+        spec = trace_to_spec(tracer)
+        assert trace_coverage(tracer, spec) == pytest.approx(1.0)
+
+    def test_replay_reproduces_tables(self, methodology, tmp_path):
+        """spec run and re-imported trace run agree byte-for-byte."""
+        text = capture(methodology, SHARED)
+        f = tmp_path / "capture.csv"
+        f.write_text(text)
+        app = load_trace_workload(f)
+        assert app.name == "trace-capture"
+        native = methodology.evaluate(SyntheticApplication(spec=SHARED))["jbod"]
+        replayed = methodology.evaluate(app)["jbod"]
+        assert replayed.used.rows == native.used.rows
+        assert replayed.io_time_s == native.io_time_s
+        assert replayed.execution_time_s == native.execution_time_s
+        assert replayed.bytes_written == native.bytes_written
+
+    def test_replay_deterministic_across_repeats(self, methodology, tmp_path):
+        text = capture(methodology, SHARED)
+        f = tmp_path / "capture.csv"
+        f.write_text(text)
+        a = methodology.evaluate(load_trace_workload(f))["jbod"]
+        b = methodology.evaluate(load_trace_workload(f))["jbod"]
+        assert a.used.rows == b.used.rows
+        assert a.io_time_s == b.io_time_s
+
+    def test_workload_fingerprints_dedupe(self, methodology, tmp_path):
+        # a spec file and its re-imported capture hash identically, so
+        # dedupe layers see one workload
+        text = capture(methodology, SHARED)
+        f = tmp_path / "capture.csv"
+        f.write_text(text)
+        app = load_trace_workload(f)
+        assert workload_fingerprint(app) == workload_fingerprint(
+            SyntheticApplication(spec=SHARED, label="other-name"))
+
+
+class TestTraceToSpec:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(IngestError, match="no read/write events"):
+            trace_to_spec(IOTracer())
+
+    def test_malformed_text_rejected(self):
+        with pytest.raises(IngestError, match="malformed trace"):
+            load_trace("rank,op\nnot-an-int,write\n")
+
+    def test_dominant_file_kept(self):
+        from repro.tracing import IOEvent
+
+        t = IOTracer(world_size=2)
+        big = IOEvent(0, "write", 0, 1 * MiB, 4, None, 0.0, 1.0, "/nfs/big", False)
+        small = IOEvent(1, "write", 0, 4096, 1, None, 0.0, 0.1, "/nfs/small", False)
+        t.record(0, big)
+        t.record(1, small)
+        spec = trace_to_spec(t)
+        assert spec.path == "/nfs/big"
+        assert trace_coverage(t, spec) == pytest.approx((4 * MiB) / (4 * MiB + 4096))
+
+    def test_overlapping_offsets_not_rank_disjoint(self):
+        from repro.tracing import IOEvent
+
+        t = IOTracer(world_size=2)
+        for rank in (0, 1):  # both ranks read the same region
+            t.record(rank, IOEvent(rank, "read", 0, 4096, 2, None,
+                                   0.0, 0.5, "/nfs/f", False))
+        assert not trace_to_spec(t).rank_disjoint
+
+    def test_infer_compute_gaps(self):
+        from repro.tracing import IOEvent
+
+        t = IOTracer(world_size=1)
+        t.record(0, IOEvent(0, "write", 0, 4096, 1, None, 0.0, 1.0, "/f", False))
+        t.record(0, IOEvent(0, "write", 4096, 4096, 1, None, 3.0, 4.0, "/f", False))
+        assert trace_to_spec(t).phases[0].compute_s == 0.0
+        spec = trace_to_spec(t, infer_compute=True)
+        assert spec.phases[0].compute_s == pytest.approx(2.0)
+
+
+class TestReportToSpec:
+    def test_representative_spec(self, methodology):
+        tracer = load_trace(capture(methodology, SHARED))
+        spec = report_to_spec(build_report(tracer))
+        assert spec.nprocs == 4
+        assert spec.path == "/nfs/shared.dat"
+        ops = {p.op for p in spec.phases}
+        assert ops == {"write", "read"}
+        for p in spec.phases:
+            assert p.nbytes > 0 and p.repetitions >= 1
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(IngestError, match="no file records"):
+            report_to_spec(build_report(IOTracer()))
+
+    def test_compiles_and_runs(self, methodology):
+        tracer = load_trace(capture(methodology, SHARED))
+        spec = report_to_spec(build_report(tracer))
+        app = SyntheticApplication(spec=spec, label="representative")
+        reports = methodology.evaluate(app)
+        assert reports["jbod"].io_time_s > 0
+
+
+class TestCacheDedupe:
+    def test_second_evaluation_hits_table_cache(self, tmp_path):
+        from repro.core.tablecache import TableCache
+
+        cache = TableCache(tmp_path / "cache")
+        m1 = Methodology({"jbod": small_config("jbod")}, **KW)
+        m1.characterize(cache=cache)
+        entries = cache.entries()
+        assert len(entries) == 1
+        # identical config + sweep fingerprints to the same key, so the
+        # second characterization loads the entry instead of adding one
+        m2 = Methodology({"jbod": small_config("jbod")}, **KW)
+        m2.characterize(cache=cache)
+        assert cache.entries() == entries
+        csvs = lambda m: {lvl: t.to_csv() for lvl, t in m.tables["jbod"].items()}
+        assert csvs(m1) == csvs(m2)
+        app = SyntheticApplication(spec=compile_spec(
+            {"version": 1, "phases": [{"op": "write", "nbytes": "64KiB"}]}))
+        a = m1.evaluate(app)["jbod"]
+        b = m2.evaluate(app)["jbod"]
+        assert a.used.rows == b.used.rows

@@ -93,6 +93,36 @@ def test_report_jsonl_trace(tmp_path):
     assert len(lines) > 1
 
 
+def test_report_portable_csv_trace_replays(tmp_path):
+    """Satellite: `--trace-format csv` emits a portable capture that
+    loads back through the ingest layer as a runnable workload."""
+    from repro.tracing import load_trace, load_trace_workload
+
+    trace_path = tmp_path / "capture.csv"
+    rc = main(["report", *BT_ARGS, "--configs", "jbod",
+               "--cache", str(tmp_path / "cache"),
+               "--trace-out", str(trace_path), "--trace-format", "csv"])
+    assert rc == 0
+    text = trace_path.read_text()
+    assert text.startswith("#repro-trace v1 world_size=4")
+    tracer = load_trace(trace_path)
+    assert tracer.nranks == 4
+    assert tracer.events
+    app = load_trace_workload(trace_path)
+    assert app.name == "trace-capture"
+    assert app.spec.nprocs == 4
+
+
+def test_report_csv_trace_one_file_per_config(tmp_path):
+    trace_path = tmp_path / "capture.csv"
+    rc = main(["report", *BT_ARGS, "--configs", "jbod", "raid5",
+               "--cache", str(tmp_path / "cache"),
+               "--trace-out", str(trace_path), "--trace-format", "csv"])
+    assert rc == 0
+    names = sorted(p.name for p in tmp_path.glob("capture*.csv"))
+    assert names == ["capture.jbod.csv", "capture.raid5.csv"]
+
+
 def test_report_verdicts_identical_with_and_without_fastpath(tmp_path):
     """Satellite: the bottleneck verdicts `repro report --json` emits
     must be byte-identical with the phase fastpath on and off (physical

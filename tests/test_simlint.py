@@ -12,7 +12,10 @@ import textwrap
 from repro.analysis.simlint import RULES, Finding, lint_paths, lint_source, main
 
 SIM_PATH = "src/repro/simengine/fixture.py"
-APP_PATH = "src/repro/workloads/fixture.py"
+# obs (reporting) is outside both the determinism scope and the
+# serve-package scope — workloads/tracing joined SIM_PACKAGES when the
+# grammar/ingest layers started feeding the DES
+APP_PATH = "src/repro/obs/fixture.py"
 
 
 def findings(src, path=SIM_PATH, **kw):
@@ -227,6 +230,20 @@ def test_determinism_rules_skip_non_sim_packages():
     assert rules_of(findings(src, path=APP_PATH, sim_scope=True)) == ["wall-clock"]
 
 
+def test_workloads_and_tracing_are_in_scope():
+    # the grammar/ingest layers compile specs and replay traces that
+    # feed the DES, so the determinism rules cover them
+    src = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    for pkg in ("workloads", "tracing"):
+        path = f"src/repro/{pkg}/fixture.py"
+        assert rules_of(findings(src, path=path)) == ["wall-clock"]
+
+
 def test_rules_filter():
     src = """
         import time
@@ -435,7 +452,7 @@ def test_generator_serve_quiet_on_data_generators():
 
 def test_generator_serve_quiet_outside_serve_packages():
     # the same serve loop in simengine (the kernel's own machinery) or
-    # the workloads layer is out of scope
+    # the reporting layer is out of scope
     src = """
     def _serve(self, req):
         yield self.env.timeout(0.01)
