@@ -151,10 +151,30 @@ class SimSanitizer:
 
     # -- attach / detach ---------------------------------------------------
     def attach(self) -> "SimSanitizer":
-        """Install the step/reset interceptors and the hook handle."""
+        """Install the step/reset interceptors and the hook handle.
+
+        Chains through any instance-level ``step``/``reset``/``_push``
+        already installed on the environment (e.g. a
+        :class:`~repro.simengine.schedule.RaceProbe` attached at
+        creation), so instrumentation layers compose instead of
+        silently disabling each other.
+        """
         env = self.env
         if getattr(env, "sanitizer", None) is not None:
             raise SanitizerError("a sanitizer is already attached to this environment")
+        self._prev_overrides = {
+            attr: env.__dict__.get(attr) for attr in ("step", "reset", "_push")
+        }
+        prev_push = self._prev_overrides["_push"]
+        self._push_down = prev_push or (
+            lambda when, priority, event: Environment._push(env, when, priority, event)
+        )
+        prev_step = self._prev_overrides["step"]
+        self._step_down = prev_step or (lambda: Environment.step(env))
+        prev_reset = self._prev_overrides["reset"]
+        self._reset_down = prev_reset or (
+            lambda initial_time=0.0: Environment.reset(env, initial_time)
+        )
         env.sanitizer = self
         env.step = self._checked_step  # type: ignore[method-assign]
         env.reset = self._checked_reset  # type: ignore[method-assign]
@@ -167,10 +187,17 @@ class SimSanitizer:
         return self
 
     def detach(self) -> None:
-        """Remove every interceptor, returning the environment to its
-        uninstrumented state."""
-        for attr in ("sanitizer", "step", "reset", "_push"):
-            self.env.__dict__.pop(attr, None)
+        """Remove every interceptor, returning the environment to the
+        state it was in before :meth:`attach` (previously chained
+        instance overrides are restored, not dropped)."""
+        self.env.__dict__.pop("sanitizer", None)
+        prev = getattr(self, "_prev_overrides", None) or {}
+        for attr in ("step", "reset", "_push"):
+            restored = prev.get(attr)
+            if restored is not None:
+                self.env.__dict__[attr] = restored
+            else:
+                self.env.__dict__.pop(attr, None)
         self._attached = False
 
     def _rebaseline(self) -> None:
@@ -198,7 +225,7 @@ class SimSanitizer:
                 f"reached t={env._now!r}",
             )
         self.events_scheduled += 1
-        Environment._push(env, when, priority, event)
+        self._push_down(when, priority, event)
 
     def _checked_step(self) -> None:
         env = self.env
@@ -229,11 +256,11 @@ class SimSanitizer:
             # pushes must disarm the gate for the next pop
             self._last_seq = env._seq
             self.events_checked += 1
-        Environment.step(env)
+        self._step_down()
 
     def _checked_reset(self, initial_time: float = 0.0) -> None:
         self.check_leaks(stage="reset")
-        Environment.reset(self.env, initial_time)
+        self._reset_down(initial_time)
         self._rebaseline()
 
     # -- hooks called by instrumented layers --------------------------------

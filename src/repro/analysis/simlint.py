@@ -732,7 +732,16 @@ def lint_paths(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point: ``repro lint`` / ``scripts/simlint.py``."""
+    """CLI entry point: ``repro lint`` / ``scripts/simlint.py``.
+
+    The schedule-race rules (:data:`repro.analysis.simrace.RACE_RULES`)
+    run alongside the simlint ones: one invocation, one merged finding
+    list, one shared pragma syntax.
+    """
+    # simrace imports the framework pieces from this module, so pull
+    # its rules in lazily here rather than at import time
+    from .simrace import RACE_RULES, lint_race_paths
+
     parser = argparse.ArgumentParser(
         prog="simlint",
         description="simulation-correctness static checks (see repro.analysis.simlint)",
@@ -743,15 +752,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--rules",
         nargs="+",
-        choices=RULES,
+        choices=RULES + RACE_RULES,
         default=None,
-        help="restrict to these rules (default: all)",
+        help="restrict to these rules (default: all, including the "
+             "schedule-race rules)",
     )
     parser.add_argument(
         "--format", choices=["text", "json"], default="text", dest="fmt"
     )
     args = parser.parse_args(argv)
-    findings = lint_paths(args.paths, rules=args.rules)
+    lint_rules = race_rules = None
+    if args.rules is not None:
+        lint_rules = [r for r in args.rules if r in RULES]
+        race_rules = [r for r in args.rules if r in RACE_RULES]
+    findings = []
+    if args.rules is None or lint_rules:
+        findings.extend(lint_paths(args.paths, rules=lint_rules))
+    if args.rules is None or race_rules:
+        findings.extend(lint_race_paths(args.paths, rules=race_rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     if args.fmt == "json":
         print(json.dumps([f.as_dict() for f in findings], indent=2))
     else:

@@ -14,9 +14,15 @@ Subcommands mirror the methodology's phases:
 * ``perf`` — benchmark the methodology itself: serial vs parallel vs
   cached characterization timings, written as machine-readable JSON.
 * ``workload`` — validate or compile declarative workload spec files
-  (the JSON/YAML grammar; see :mod:`repro.workloads.grammar`).
+  (the JSON/YAML grammar; see :mod:`repro.workloads.grammar`), or
+  ``workload fuzz`` seeded random-walk specs over it.
 * ``lint`` — run the simlint static checks (determinism, units,
-  resource-release safety; see :mod:`repro.analysis.simlint`).
+  resource-release safety, schedule-race rules; see
+  :mod:`repro.analysis.simlint` and :mod:`repro.analysis.simrace`).
+* ``race`` — the differential schedule-race matrix: kernel modes x
+  sanitizer x seeded tie-break perturbations over one workload,
+  byte-comparing conserved results (see
+  :func:`repro.analysis.simrace.run_race_matrix`).
 * ``list`` — show the available cluster configurations and workloads.
 
 ``evaluate``/``predict``/``report`` take the workload either as a
@@ -246,7 +252,48 @@ def cmd_lint(args) -> int:
     argv = list(args.paths)
     if args.format != "text":
         argv += ["--format", args.format]
+    if args.rules:
+        argv += ["--rules", *args.rules]
     return simlint_main(argv)
+
+
+def cmd_race(args) -> int:
+    """Differential schedule-race matrix (see repro.analysis.simrace)."""
+    import json
+
+    from .analysis.simrace import KERNEL_MODES, render_report, run_race_matrix
+
+    app = _app(args)
+    name, cfg = next(iter(_configs([args.config]).items()))
+    kw: dict = {}
+    if args.quick:
+        # CI-sized: two modes, no sanitizer axis, small sweep — the
+        # full matrix at paper scale is `repro race` with no flags
+        kw.update(
+            modes=("exact", "analytic"),
+            sanitize=(False,),
+            block_sizes=(256 * KiB, 1 * MiB),
+            char_file_bytes=8 * MiB,
+            ior_file_bytes=64 * MiB,
+        )
+    else:
+        kw.update(modes=KERNEL_MODES, sanitize=(False, True))
+    if args.modes:
+        kw["modes"] = tuple(args.modes)
+    report = run_race_matrix(
+        app,
+        config=cfg,
+        config_name=name,
+        seeds=tuple(args.seeds),
+        tol=args.tol,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+        **kw,
+    )
+    print(render_report(report))
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"  -> wrote {args.out}", file=sys.stderr)
+    return 0 if report["ok"] else 1
 
 
 def cmd_workload(args) -> int:
@@ -259,6 +306,23 @@ def cmd_workload(args) -> int:
         spec_fingerprint,
         spec_name,
     )
+
+    if args.wcommand == "fuzz":
+        import json as _json
+
+        from .workloads.fuzz import fuzz_specs
+
+        specs = fuzz_specs(args.n, seed=args.seed, max_phases=args.max_phases)
+        if args.out:
+            out = Path(args.out)
+            out.mkdir(parents=True, exist_ok=True)
+            for doc in specs:
+                target = out / f"{doc['name']}.json"
+                target.write_text(_json.dumps(doc, indent=2) + "\n")
+                print(f"  -> wrote {target}")
+        else:
+            print(_json.dumps(specs if args.n > 1 else specs[0], indent=2))
+        return 0
 
     if args.wcommand == "validate":
         bad = 0
@@ -855,13 +919,50 @@ def build_parser() -> argparse.ArgumentParser:
     wc.add_argument("--json", action="store_true",
                     help="emit the canonical JSON form instead of a table")
     wc.set_defaults(func=cmd_workload)
+    wf = wsub.add_parser("fuzz", help="generate seeded random-walk specs "
+                                      "over the grammar (race-matrix corpus)")
+    wf.add_argument("--n", type=int, default=1,
+                    help="number of specs (seeds seed..seed+n-1; default 1)")
+    wf.add_argument("--seed", type=int, default=0,
+                    help="base seed; each spec is a pure function of its seed")
+    wf.add_argument("--max-phases", type=int, default=6,
+                    help="maximum top-level phase/loop nodes per spec")
+    wf.add_argument("--out", default=None, metavar="DIR",
+                    help="write each spec as DIR/<name>.json instead of stdout")
+    wf.set_defaults(func=cmd_workload)
 
     ln = sub.add_parser("lint", help="simlint static checks (determinism, "
-                                     "units, resource-release safety)")
+                                     "units, resource-release safety, "
+                                     "schedule races)")
     ln.add_argument("paths", nargs="*", default=["src"],
                     help="files or directories to lint (default: src)")
     ln.add_argument("--format", choices=["text", "json"], default="text")
+    ln.add_argument("--rules", nargs="+", default=None, metavar="RULE",
+                    help="restrict to these rules (simlint and/or "
+                         "schedule-race rule names)")
     ln.set_defaults(func=cmd_lint)
+
+    rc = sub.add_parser(
+        "race",
+        help="differential schedule-race matrix: kernel modes x sanitizer "
+             "x seeded tie-break perturbations",
+    )
+    workload(rc)
+    rc.add_argument("--config", default="jbod",
+                    help="cluster configuration for the matrix (default: jbod)")
+    rc.add_argument("--quick", action="store_true",
+                    help="CI-sized cells: exact+analytic modes, no sanitizer "
+                         "axis, small characterization sweep")
+    rc.add_argument("--modes", nargs="+", default=None,
+                    choices=["exact", "analytic", "no_fasthold", "no_fsfast"],
+                    help="override the kernel-mode axis")
+    rc.add_argument("--seeds", nargs="+", type=int, default=[0],
+                    help="seeds for the shuffled tie-break plans (default: 0)")
+    rc.add_argument("--tol", type=float, default=0.02,
+                    help="timing-sensitivity tolerance (default: 0.02)")
+    rc.add_argument("--out", default=None, metavar="FILE",
+                    help="write the repro.race-report/1 JSON to FILE")
+    rc.set_defaults(func=cmd_race)
     return p
 
 

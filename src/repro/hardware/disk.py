@@ -99,7 +99,10 @@ class _FastServe(FastHold):
         self.nbytes = nbytes
         self.count = count
         self.stride = nbytes if stride is None else stride
-        super().__init__(disk.env, [disk.head], priority)
+        # the head queue orders same-time waiters by starting offset
+        # (command-queueing style), so grant order does not depend on
+        # incidental same-time scheduling order
+        super().__init__(disk.env, [disk.head], priority, order_key=offset)
 
     def _start(self, event: Event) -> None:
         self._acquire()
@@ -333,7 +336,7 @@ class Disk:
     def _serve(self, op, offset, nbytes, count, stride, priority):  # simlint: ignore[generator-serve]
         stride_ = nbytes if stride is None else stride
         total_bytes = nbytes * count
-        req = self.head.request(priority)
+        req = self.head.request(priority, order_key=offset)
         yield req
         reqs = [req]
         try:
@@ -349,7 +352,7 @@ class Disk:
             # queued behind a huge bulk transfer are not starved forever
             # (they interleave at quantum granularity).
             yield from hold_quantum(
-                self.env, [self.head], reqs, total, self.QUANTUM_S, priority
+                self.env, [self.head], reqs, total, self.QUANTUM_S, priority, order_key=offset
             )
         finally:
             # skip the release when the generator is being closed after

@@ -52,11 +52,11 @@ class _FastSend(FastHold):
 
     __slots__ = ("link", "nbytes", "count")
 
-    def __init__(self, link: "Link", nbytes: int, count: int, priority: int):
+    def __init__(self, link: "Link", nbytes: int, count: int, priority: int, order_key=None):
         self.link = link
         self.nbytes = nbytes
         self.count = count
-        super().__init__(link.env, [link.channel], priority)
+        super().__init__(link.env, [link.channel], priority, order_key=order_key)
 
     def _start(self, event) -> None:
         link = self.link
@@ -92,12 +92,20 @@ class _FastRoute(FastHold):
 
     __slots__ = ("up", "down", "nbytes", "count")
 
-    def __init__(self, up: "Link", down: "Link", nbytes: int, count: int, priority: int):
+    def __init__(
+        self,
+        up: "Link",
+        down: "Link",
+        nbytes: int,
+        count: int,
+        priority: int,
+        order_key=None,
+    ):
         self.up = up
         self.down = down
         self.nbytes = nbytes
         self.count = count
-        super().__init__(up.env, [up.channel, down.channel], priority)
+        super().__init__(up.env, [up.channel, down.channel], priority, order_key=order_key)
 
     def _start(self, event) -> None:
         env = self.env
@@ -189,20 +197,22 @@ class Link:
             + count * self.spec.per_message_cpu_s
         )
 
-    def transfer(self, nbytes: int, count: int = 1, priority: int = 0) -> Event:
+    def transfer(
+        self, nbytes: int, count: int = 1, priority: int = 0, order_key=None
+    ) -> Event:
         """Move ``count`` messages of ``nbytes`` each across the link."""
         if nbytes < 0 or count < 1:
             raise ValueError("invalid transfer geometry")
         if _kernel.FAST_HOLD:
-            return _FastSend(self, nbytes, count, priority).result
+            return _FastSend(self, nbytes, count, priority, order_key).result
         return self.env.process(
-            self._send(nbytes, count, priority), name=f"{self.name}.xfer"
+            self._send(nbytes, count, priority, order_key), name=f"{self.name}.xfer"
         )
 
-    def _send(self, nbytes, count, priority):  # simlint: ignore[generator-serve]
+    def _send(self, nbytes, count, priority, order_key=None):  # simlint: ignore[generator-serve]
         while self.env.now < self._down_until:
             yield self.env.wake_at(self._down_until)
-        req = self.channel.request(priority)
+        req = self.channel.request(priority, order_key)
         yield req
         reqs = [req]
         try:
@@ -211,7 +221,8 @@ class Link:
             self.bytes_carried += nbytes * count
             self.messages += count
             yield from hold_quantum(
-                self.env, [self.channel], reqs, total, self.QUANTUM_S, priority
+                self.env, [self.channel], reqs, total, self.QUANTUM_S, priority,
+                order_key=order_key,
             )
         finally:
             # held-check: a teardown close (abandoned/reset env) may
@@ -269,6 +280,7 @@ class Network:
         self.env = env
         self.spec = spec
         self.name = name
+        self._ep_index = {n: i for i, n in enumerate(endpoints)}
         self.uplinks = {n: Link(env, spec, f"{name}.{n}.up") for n in endpoints}
         self.downlinks = {n: Link(env, spec, f"{name}.{n}.down") for n in endpoints}
 
@@ -279,11 +291,18 @@ class Network:
     def add_endpoint(self, node: str) -> None:
         if node in self.uplinks:
             raise ValueError(f"endpoint {node!r} already attached")
+        self._ep_index[node] = len(self._ep_index)
         self.uplinks[node] = Link(self.env, self.spec, f"{self.name}.{node}.up")
         self.downlinks[node] = Link(self.env, self.spec, f"{self.name}.{node}.down")
 
     def transfer(
-        self, src: str, dst: str, nbytes: int, count: int = 1, priority: int = 0
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        count: int = 1,
+        priority: int = 0,
+        order_key=None,
     ) -> Event:
         """Event firing when the last byte reaches ``dst``.
 
@@ -300,11 +319,14 @@ class Network:
             return self.env.timeout(1e-6 + nbytes * count / (2000.0 * MiB))
         if _kernel.FAST_HOLD:
             return _FastRoute(
-                self.uplinks[src], self.downlinks[dst], nbytes, count, priority
+                self.uplinks[src], self.downlinks[dst], nbytes, count, priority,
+                order_key=order_key,
             ).result
-        return self.env.process(self._route(src, dst, nbytes, count, priority))
+        return self.env.process(
+            self._route(src, dst, nbytes, count, priority, order_key)
+        )
 
-    def _route(self, src, dst, nbytes, count, priority):  # simlint: ignore[generator-serve]
+    def _route(self, src, dst, nbytes, count, priority, order_key=None):  # simlint: ignore[generator-serve]
         up = self.uplinks[src]
         down = self.downlinks[dst]
         # A flapped link delays the transfer until it is back up (TCP
@@ -314,9 +336,9 @@ class Network:
             yield self.env.wake_at(max(up._down_until, down._down_until))
         # Acquire uplink first, downlink second (fixed order; the two
         # resource sets are disjoint so no deadlock cycle can form).
-        up_req = up.channel.request(priority)
+        up_req = up.channel.request(priority, order_key)
         yield up_req
-        down_req = down.channel.request(priority)
+        down_req = down.channel.request(priority, order_key)
         yield down_req
         reqs = [up_req, down_req]
         try:
@@ -335,6 +357,7 @@ class Network:
                 total,
                 Link.QUANTUM_S,
                 priority,
+                order_key=order_key,
             )
         finally:
             if reqs[1] in down.channel.users:

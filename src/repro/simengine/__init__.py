@@ -3,6 +3,7 @@
 from .core import AllOf, AnyOf, Environment, Event, FlatOp, Process, SimulationError, Timeout, Wake
 from .resources import Container, PriorityResource, Request, Resource, Store, hold_quantum
 from .rng import RngRegistry
+from .schedule import Perturber, TieGroupRecorder, capture, minimize_flips
 
 __all__ = [
     "AllOf",
@@ -21,4 +22,8 @@ __all__ = [
     "Store",
     "RngRegistry",
     "hold_quantum",
+    "Perturber",
+    "TieGroupRecorder",
+    "capture",
+    "minimize_flips",
 ]

@@ -231,7 +231,7 @@ class SliceRing:
         self.dead = False
         # replay the rotation to the first completion; one calendar
         # entry covers every virtual quantum boundary before it
-        _i, _r, _t, t_c, _f = self._replay(None)
+        _i, _r, _o, _t, t_c, _f = self._replay(None)
         wake = self.wake = Wake(env, t_c)
         wake.callbacks.append(self._on_wake)
         # any request on any involved resource breaks the steady window
@@ -252,13 +252,16 @@ class SliceRing:
         With ``t_stop is None``: run to the first completion.  With a
         time: process every quantum boundary at or before ``t_stop``
         (a boundary exactly at an arrival is the older calendar entry,
-        so it replays first).  Returns ``(i, rems, start, end, final)``
-        where ``i`` indexes the in-flight/completing member, ``rems``
-        holds the advanced remaining times in original member order,
-        ``start``/``end`` bound the in-flight slice and ``final``
-        whether that slice completes the member's hold.  The adoption
-        state itself is never mutated — it stays valid for a later
-        replay.
+        so it replays first).  Returns ``(i, rems, outs, start, end,
+        final)`` where ``i`` indexes the in-flight/completing member,
+        ``rems`` holds the advanced remaining times in original member
+        order, ``outs`` each member's *last rotate-out boundary* (None
+        if it never rotated out — that instant is when the real
+        rotation created the member's current pivot re-request, so it
+        is the arrival time materialization must stamp), ``start``/
+        ``end`` bound the in-flight slice and ``final`` whether that
+        slice completes the member's hold.  The adoption state itself
+        is never mutated — it stays valid for a later replay.
 
         Mirrors ``FastHold._hold_step`` statement for statement:
         ``t + quantum`` per non-final turn, ``remaining - quantum`` per
@@ -266,6 +269,7 @@ class SliceRing:
         """
         members = self.members
         rems = list(self.rems)
+        outs = [None] * len(members)
         t = self.t0
         i = 0
         n = len(members)
@@ -282,26 +286,28 @@ class SliceRing:
                 break
             rems[i] = r - q
             t = end
+            outs[i] = t
             i = (i + 1) % n
-        return i, rems, t, end, final
+        return i, rems, outs, t, end, final
 
     def _advance(self, t_stop):
         """Replay and rotate the member/remaining/pivot lists so the
         in-flight member leads."""
-        i, rems, t, end, final = self._replay(t_stop)
+        i, rems, outs, t, end, final = self._replay(t_stop)
         members = self.members
         pivots = self.pivots
         return (
             members[i:] + members[:i],
             rems[i:] + rems[:i],
             pivots[i:] + pivots[:i],
+            outs[i:] + outs[:i],
             t,
             end,
             final,
         )
 
     # -- materialization --------------------------------------------------
-    def _rebuild(self, members, rems, pivots):
+    def _rebuild(self, members, rems, pivots, outs):
         """Point the resources and members at the replayed rotation state.
 
         ``members[0]`` becomes the holder — its pivot request moves to
@@ -313,6 +319,16 @@ class SliceRing:
         popped while the ring was live, so its first
         ``len(members) - 1`` entries are exactly the member requests
         and anything after them arrived later.
+
+        Queued requests must carry the metadata the event-by-event
+        rotation would have given them: a member that rotated out at
+        virtual boundary ``outs[j]`` re-requested *at that instant*
+        with its ``order_key``, so its queue entry gets that arrival
+        time (and a replacement request, where the stored object was
+        already consumed, that key).  ``Resource._pop_next`` resolves
+        same-arrival-time cohorts by key, so a stale or dissolve-time
+        arrival stamp would let a keyed foreign request arriving at the
+        dissolve instant overtake members the exact path serves first.
         """
         res = self.res
         foreign = res.queue[len(members) - 1 :]
@@ -321,11 +337,11 @@ class SliceRing:
         for j in range(pivots[0] + 1, len(h.resources)):
             rj = h.resources[j]
             if h.reqs[j] not in rj.users:
-                rq = _REQUEST_CLS(rj, h.priority)
+                rq = _REQUEST_CLS(rj, h.priority, h.order_key)
                 rj.users.append(rq)
                 h.reqs[j] = rq
         rebuilt = []
-        for m, pm in zip(members[1:], pivots[1:]):
+        for m, pm, out in zip(members[1:], pivots[1:], outs[1:]):
             req = m.reqs[pm]
             if req.triggered:
                 # this member held the pivot at some virtual boundary —
@@ -333,11 +349,13 @@ class SliceRing:
                 # so give it the fresh request that rotation would have
                 # created (placed directly; the ring's own hooks must
                 # not observe it as an arrival)
-                req = _REQUEST_CLS(res, m.priority)
+                req = _REQUEST_CLS(res, m.priority, m.order_key)
                 req.fh = m
                 req.callbacks.append(m._on_regrant)
                 m.reqs[pm] = req
                 m._acq_i = pm
+            if out is not None:
+                req.t_arrival = out
             rebuilt.append(req)
             for j in range(pm + 1, len(m.resources)):
                 # a member that rotated out releases what it held past
@@ -363,8 +381,8 @@ class SliceRing:
             return
         self.dead = True
         self._unhook()
-        members, rems, pivots, _t, _end, _final = self._advance(None)
-        self._rebuild(members, rems, pivots)
+        members, rems, pivots, outs, _t, _end, _final = self._advance(None)
+        self._rebuild(members, rems, pivots, outs)
         # the completer's release grants the next member for real — the
         # rotation resumes event-by-event (and typically re-adopts)
         members[0]._release_and_done()
@@ -381,8 +399,8 @@ class SliceRing:
                 wake.callbacks.remove(self._on_wake)
             except ValueError:
                 pass
-        members, rems, pivots, t_start, end, final = self._advance(self.env._now)
-        self._rebuild(members, rems, pivots)
+        members, rems, pivots, outs, t_start, end, final = self._advance(self.env._now)
+        self._rebuild(members, rems, pivots, outs)
         holder = members[0]
         if final:
             # in a final slice the sliced loop leaves ``remaining``
@@ -639,7 +657,7 @@ class CoupledRing:
         self.rems = rems
         self.t0 = env._now
         self.dead = False
-        _dq, _uq, _rems, _t, t_c, _f = self._replay(None)
+        _dq, _uq, _rems, _born, _t, t_c, _f = self._replay(None)
         wake = self.wake = Wake(env, t_c)
         wake.callbacks.append(self._on_wake)
         hook = self._dissolve
@@ -660,15 +678,19 @@ class CoupledRing:
         uplink's FIFO head, which joins the pivot queue in its place,
         while the leaver re-queues on its own uplink (or directly on
         the pivot when its uplink has no waiters).  Returns
-        ``(dq, uq, rems, start, end, final)`` where ``dq`` is the pivot
-        rotation order (holder first), ``uq`` maps each uplink to its
-        waiter order, ``start``/``end`` bound the in-flight slice and
-        ``final`` whether that slice completes the holder.  The
-        adoption state is never mutated.
+        ``(dq, uq, rems, born, start, end, final)`` where ``dq`` is the
+        pivot rotation order (holder first), ``uq`` maps each uplink to
+        its waiter order, ``born`` maps each member that changed queues
+        to the boundary time of its *last* transition (the instant the
+        real rotation created its current pivot or uplink request),
+        ``start``/``end`` bound the in-flight slice and ``final``
+        whether that slice completes the holder.  The adoption state is
+        never mutated.
         """
         dq = list(self.actives)
         uq = {up: list(ws) for up, ws in self.uplinks.items()}
         rems = dict(self.rems)
+        born = {}
         upres = self.upres
         t = self.t0
         while True:
@@ -690,13 +712,15 @@ class CoupledRing:
             if up is not None and uq[up]:
                 s = uq[up].pop(0)
                 dq.append(s)
+                born[s] = t
                 uq[up].append(h)
             else:
                 dq.append(h)
-        return dq, uq, rems, t, end, final
+            born[h] = t
+        return dq, uq, rems, born, t, end, final
 
     # -- materialization --------------------------------------------------
-    def _rebuild(self, dq, uq, rems):
+    def _rebuild(self, dq, uq, rems, born):
         """Point every involved resource and member at the replayed
         state: ``dq[0]`` holds the pivot (and its post-pivot/between
         resources), the rest of ``dq`` queues on the pivot in rotation
@@ -705,7 +729,11 @@ class CoupledRing:
         past their uplink position.  Requests whose stored object was
         already consumed at some virtual boundary get the fresh request
         the real rotation would have created (placed directly; the
-        ring's own hooks must not observe it as an arrival)."""
+        ring's own hooks must not observe it as an arrival), and every
+        request whose member changed queues during the replay is
+        stamped with its ``born`` boundary as arrival time — the
+        key-aware same-arrival cohort scan in ``Resource._pop_next``
+        reads that metadata, so it must match the exact path's."""
         res = self.res
         pidx = self.pidx
         jidx = self.jidx
@@ -720,10 +748,13 @@ class CoupledRing:
             if n:
                 req = m.reqs[pm]
                 if req.triggered:
-                    req = _REQUEST_CLS(res, m.priority)
+                    req = _REQUEST_CLS(res, m.priority, m.order_key)
                     req.fh = m
                     req.callbacks.append(m._on_regrant)
                     m.reqs[pm] = req
+                bt = born.get(m)
+                if bt is not None:
+                    req.t_arrival = bt
                 m._acq_i = pm
                 rebuilt.append(req)
                 stop = len(m.resources)
@@ -735,7 +766,7 @@ class CoupledRing:
             for k in range(jm + 1, pm):
                 rk = m.resources[k]
                 if m.reqs[k] not in rk.users:
-                    rq = _REQUEST_CLS(rk, m.priority)
+                    rq = _REQUEST_CLS(rk, m.priority, m.order_key)
                     rk.users.append(rq)
                     m.reqs[k] = rq
             # ...and holds nothing after it while queued there
@@ -747,7 +778,7 @@ class CoupledRing:
         for k in range(ph + 1, len(h.resources)):
             rk = h.resources[k]
             if h.reqs[k] not in rk.users:
-                rq = _REQUEST_CLS(rk, h.priority)
+                rq = _REQUEST_CLS(rk, h.priority, h.order_key)
                 rk.users.append(rq)
                 h.reqs[k] = rq
         res.queue[:] = rebuilt + foreign
@@ -765,10 +796,13 @@ class CoupledRing:
                 jw = jidx[w]
                 req = w.reqs[jw]
                 if req.triggered:
-                    req = _REQUEST_CLS(up, w.priority)
+                    req = _REQUEST_CLS(up, w.priority, w.order_key)
                     req.fh = w
                     req.callbacks.append(w._on_regrant)
                     w.reqs[jw] = req
+                bt = born.get(w)
+                if bt is not None:
+                    req.t_arrival = bt
                 w._acq_i = jw
                 wreqs.append(req)
                 for k in range(jw + 1, len(w.resources)):
@@ -793,8 +827,8 @@ class CoupledRing:
             return
         self.dead = True
         self._unhook()
-        dq, uq, rems, _t, _end, _final = self._replay(None)
-        self._rebuild(dq, uq, rems)
+        dq, uq, rems, born, _t, _end, _final = self._replay(None)
+        self._rebuild(dq, uq, rems, born)
         # the completer's release grants the pivot and uplink for real
         # — the rotation resumes event-by-event (and typically
         # re-adopts)
@@ -812,8 +846,8 @@ class CoupledRing:
                 wake.callbacks.remove(self._on_wake)
             except ValueError:
                 pass
-        dq, uq, rems, t_start, end, final = self._replay(self.env._now)
-        self._rebuild(dq, uq, rems)
+        dq, uq, rems, born, t_start, end, final = self._replay(self.env._now)
+        self._rebuild(dq, uq, rems, born)
         holder = dq[0]
         if final:
             # in a final slice the sliced loop leaves ``remaining``

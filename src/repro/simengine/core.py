@@ -464,11 +464,22 @@ class Environment:
     #: their deterministic default (no jitter) when it is ``None``.
     rng = None
 
+    #: registered creation hooks — each new environment is passed to
+    #: every callable here right after ``__init__`` finishes.  Empty in
+    #: normal operation (one falsy check on the construction path); the
+    #: schedule-race probe registers itself here so that *every*
+    #: environment built during a captured run (characterization builds
+    #: many) is instrumented from its first calendar insert.
+    _init_hooks: list = []
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        if Environment._init_hooks:
+            for hook in Environment._init_hooks:
+                hook(self)
 
     # -- clock ----------------------------------------------------------
     @property

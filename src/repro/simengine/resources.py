@@ -54,9 +54,9 @@ class Request(Event):
     :meth:`Resource.release`.
     """
 
-    __slots__ = ("resource", "priority", "_order", "_released", "fh")
+    __slots__ = ("resource", "priority", "_order", "_released", "fh", "t_arrival", "order_key")
 
-    def __init__(self, resource: "Resource", priority: int = 0):
+    def __init__(self, resource: "Resource", priority: int = 0, order_key=None):
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
@@ -66,10 +66,37 @@ class Request(Event):
         # back-pointer set by FastHold re-acquires; lets the analytic
         # slice rings recognise steady rotation members in the queue
         self.fh = None
+        self.t_arrival = resource.env._now
+        # semantic tie-break among waiters that arrived at the *same*
+        # sim-time: requests carrying a key are ordered by it instead of
+        # by incidental insertion order (e.g. the disk head queues by
+        # starting offset, like command queueing in a real drive), so
+        # grant order — and therefore every downstream timestamp — is
+        # invariant under permutations of same-time scheduling order
+        self.order_key = order_key
+
+
+def _tie_rank(req: "Request"):
+    """Order among waiters that arrived at the same sim-time.
+
+    Keyed requests sort by their ``order_key`` (then arrival seq);
+    keyless requests keep plain arrival order after any keyed ones.
+    With no keys in play this reduces exactly to FIFO, so the hot path
+    is unchanged — the rank only matters inside a same-time cohort.
+    """
+    if req.order_key is None:
+        return (1, 0, req._order)
+    return (0, req.order_key, req._order)
 
 
 class Resource:
-    """A counted resource with FIFO queueing."""
+    """A counted resource with FIFO queueing.
+
+    Waiters are FIFO by arrival sim-time; *within* a set of waiters
+    that arrived at the same sim-time, requests carrying an
+    ``order_key`` are granted in key order rather than incidental
+    insertion order (see :meth:`request`).
+    """
 
     def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
         if capacity < 1:
@@ -92,12 +119,16 @@ class Resource:
         """Number of slots currently held."""
         return len(self.users)
 
-    def request(self, priority: int = 0) -> Request:
-        """Claim a slot; the returned event fires when granted."""
+    def request(self, priority: int = 0, order_key=None) -> Request:
+        """Claim a slot; the returned event fires when granted.
+
+        ``order_key`` (optional, orderable) breaks ties among waiters
+        that arrive at the same sim-time; see :class:`Request`.
+        """
         if self._request_hooks:
             for cb in self._request_hooks[:]:
                 cb()
-        req = Request(self, priority)
+        req = Request(self, priority, order_key)
         if len(self.users) < self.capacity and not self.queue:
             self.users.append(req)
             req.succeed(req)
@@ -171,7 +202,20 @@ class Resource:
             nxt.succeed(nxt)
 
     def _pop_next(self) -> Request:
-        return self.queue.pop(0)
+        queue = self.queue
+        if len(queue) > 1 and queue[1].t_arrival == queue[0].t_arrival:
+            t0 = queue[0].t_arrival
+            best = 0
+            best_rank = _tie_rank(queue[0])
+            for i in range(1, len(queue)):
+                req = queue[i]
+                if req.t_arrival != t0:
+                    break
+                rank = _tie_rank(req)
+                if rank < best_rank:
+                    best, best_rank = i, rank
+            return queue.pop(best)
+        return queue.pop(0)
 
     def using(self, hold: float, priority: int = 0) -> Generator:
         """Generator helper: acquire, hold for ``hold`` seconds, release.
@@ -204,8 +248,12 @@ class PriorityResource(Resource):
     """Resource whose queue is ordered by (priority, arrival order)."""
 
     def _pop_next(self) -> Request:
-        best = min(range(len(self.queue)), key=lambda i: (self.queue[i].priority, self.queue[i]._order))
-        return self.queue.pop(best)
+        queue = self.queue
+        best = min(
+            range(len(queue)),
+            key=lambda i: (queue[i].priority, queue[i].t_arrival) + _tie_rank(queue[i]),
+        )
+        return queue.pop(best)
 
 
 def hold_quantum(
@@ -215,6 +263,7 @@ def hold_quantum(
     total: float,
     quantum: float,
     priority: int = 0,
+    order_key=None,
 ) -> Generator:
     """Hold granted slots for ``total`` seconds, yielding to competitors
     at ``quantum`` boundaries.
@@ -278,7 +327,7 @@ def hold_quantum(
                 # the re-acquired request replaces reqs[i] in place, so
                 # the *caller's* try/finally releases it — guaranteed
                 # release lives one frame up
-                req = r.request(priority)  # simlint: ignore[resource-release]
+                req = r.request(priority, order_key)  # simlint: ignore[resource-release]
                 yield req
                 reqs[i] = req
 
@@ -327,12 +376,14 @@ class FastHold:
         "_wake",
         "_watchers",
         "_acq_i",
+        "order_key",
     )
 
-    def __init__(self, env: Environment, resources: list[Resource], priority: int):
+    def __init__(self, env: Environment, resources: list[Resource], priority: int, order_key=None):
         self.env = env
         self.resources = resources
         self.priority = priority
+        self.order_key = order_key
         self.reqs: list[Request] = []
         self.result = Event(env)
         self._wake = None
@@ -364,7 +415,7 @@ class FastHold:
         if i == len(resources):
             self._granted()
             return
-        req = resources[i].request(self.priority)  # simlint: ignore[resource-release]
+        req = resources[i].request(self.priority, self.order_key)  # simlint: ignore[resource-release]
         self.reqs.append(req)
         req.callbacks.append(self._on_grant)
 
@@ -484,7 +535,7 @@ class FastHold:
         if i == len(resources):
             self._hold_step()
             return
-        req = resources[i].request(self.priority)  # simlint: ignore[resource-release]
+        req = resources[i].request(self.priority, self.order_key)  # simlint: ignore[resource-release]
         req.fh = self
         self.reqs[i] = req
         req.callbacks.append(self._on_regrant)

@@ -1,0 +1,103 @@
+"""Seeded workload fuzzing: random walks over the declarative grammar.
+
+The race matrix (``repro race``) and the grammar compiler are only as
+well-exercised as the corpus thrown at them, and the two hand-coded
+benchmark adapters visit a narrow slice of phase space.  This module
+generates *valid* version-1 workload specs by a bounded random walk
+over the grammar — op mix, transfer sizes, access patterns, bursts,
+collectives, nested loops, shared vs file-per-process layout — so CI
+can sweep schedule perturbations over fresh-but-reproducible shapes.
+
+Every draw comes from a named :class:`~repro.simengine.rng.RngRegistry`
+stream, so ``fuzz_spec(seed=7)`` is the same document forever: a race
+or compiler bug found in CI replays locally from the seed alone.
+Generated documents are self-checked through
+:func:`~repro.workloads.grammar.compile_spec` before being returned —
+the fuzzer can only ever hand out specs the grammar accepts.
+
+Sizes and counts are deliberately small (4 KiB–1 MiB transfers, a few
+phases): the point is shape diversity under the differential runner,
+not volume.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..simengine.rng import RngRegistry
+from .grammar import compile_spec, validate_spec
+
+__all__ = ["fuzz_spec", "fuzz_specs"]
+
+#: transfer and stride sizes the walk draws from (strings exercise the
+#: unit parser; ints exercise the plain-bytes path)
+_SIZES: tuple[Any, ...] = ("4KiB", "16KiB", "64KiB", "256KiB", 65536, 1048576)
+_STRIDES: tuple[str, ...] = ("32KiB", "128KiB", "512KiB")
+
+
+def _leaf_phase(rng: Any) -> dict[str, Any]:
+    """One random leaf phase node (always grammar-valid)."""
+    node: dict[str, Any] = {
+        "op": "write" if rng.integers(2) else "read",
+        "nbytes": _SIZES[int(rng.integers(len(_SIZES)))],
+    }
+    if rng.integers(2):
+        node["count"] = int(rng.integers(1, 9))
+    pattern = ("sequential", "strided", "bursty")[int(rng.integers(3))]
+    if pattern == "strided":
+        node["pattern"] = "strided"
+        node["stride"] = _STRIDES[int(rng.integers(len(_STRIDES)))]
+    elif pattern == "bursty":
+        node["pattern"] = "bursty"
+        node["burst_ops"] = int(rng.integers(2, 5))
+        node["gap_s"] = int(rng.integers(1, 6)) / 1000.0
+    elif rng.integers(3) == 0:
+        # sequential phases sometimes carry a compute gap instead
+        node["compute_s"] = int(rng.integers(0, 6)) / 1000.0
+    if rng.integers(2):
+        node["repetitions"] = int(rng.integers(1, 4))
+    if rng.integers(3) == 0:
+        node["collective"] = True
+    return node
+
+
+def fuzz_spec(seed: int, max_phases: int = 6) -> dict[str, Any]:
+    """One random-walk workload spec document for ``seed``.
+
+    The walk draws 1..``max_phases`` top-level nodes; each has a ~1/4
+    chance of being a small loop (2–3 iterations over 1–2 leaf
+    phases), the rest are leaves.  The returned dict validates and
+    compiles under the grammar — checked here, every call.
+    """
+    if max_phases < 1:
+        raise ValueError("max_phases must be >= 1")
+    rng = RngRegistry(seed=seed).stream("workload.fuzz")
+    phases: list[dict[str, Any]] = []
+    for _ in range(int(rng.integers(1, max_phases + 1))):
+        if rng.integers(4) == 0:
+            phases.append(
+                {
+                    "loop": int(rng.integers(2, 4)),
+                    "phases": [
+                        _leaf_phase(rng) for _ in range(int(rng.integers(1, 3)))
+                    ],
+                }
+            )
+        else:
+            phases.append(_leaf_phase(rng))
+    doc: dict[str, Any] = {
+        "version": 1,
+        "name": f"fuzz-{seed}",
+        "nprocs": int(2 ** rng.integers(0, 4)),
+        "path": f"/nfs/fuzz{seed}.dat",
+        "layout": "file-per-process" if rng.integers(4) == 0 else "shared",
+        "rank_disjoint": bool(rng.integers(2)),
+        "phases": phases,
+    }
+    compile_spec(validate_spec(doc))  # the generator's own contract
+    return doc
+
+
+def fuzz_specs(n: int, seed: int = 0, max_phases: int = 6) -> list[dict[str, Any]]:
+    """``n`` independent specs for seeds ``seed .. seed + n - 1``."""
+    return [fuzz_spec(seed + i, max_phases=max_phases) for i in range(n)]
