@@ -451,6 +451,86 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """Crash-safe parameter-space sweep (see :mod:`repro.sweep`)."""
+    from .sweep import (
+        PlanError,
+        StoreError,
+        build_plan,
+        char_params,
+        collect_faults,
+        collect_workloads,
+        render_sweep_report,
+        run_sweep,
+    )
+
+    def progress(msg: str) -> None:
+        print(f"  {msg}", file=sys.stderr)
+
+    # runner knobs: only what the user actually set overrides the
+    # manifest (resume) or the defaults (fresh run)
+    params = {
+        key: value
+        for key, value in (
+            ("n_jobs", args.jobs),
+            ("timeout_s", args.timeout),
+            ("max_attempts", args.retries),
+            ("backoff_base_s", args.backoff),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+
+    try:
+        if args.resume or args.verify:
+            out = run_sweep(
+                args.rundir,
+                params=params,
+                resume=not args.verify,
+                verify_only=args.verify,
+                retry_quarantined=args.retry_quarantined,
+                progress=progress,
+            )
+        else:
+            if args.quick:
+                char = char_params(
+                    (256 * KiB, 1 * MiB),
+                    char_file_bytes=8 * MiB,
+                    ior_nprocs=8,
+                    ior_file_bytes=64 * MiB,
+                )
+            else:
+                blocks = tuple(
+                    (32 * KiB) << k for k in range(0, 10, max(1, args.block_step))
+                )
+                char = char_params(
+                    blocks, ior_nprocs=8, ior_file_bytes=args.ior_gib * GiB
+                )
+            tasks = build_plan(
+                args.configs,
+                collect_workloads(
+                    named=args.workloads,
+                    spec_files=args.workload_spec,
+                    fuzz_seeds=args.fuzz_seeds,
+                ),
+                collect_faults(args.faults),
+                args.modes,
+                char,
+                phase_fastpath=not args.no_phase_fastpath,
+                sanitize=args.sanitize,
+            )
+            print(f"planned {len(tasks)} task(s)", file=sys.stderr)
+            out = run_sweep(args.rundir, tasks, params, progress=progress)
+    except (PlanError, StoreError) as exc:
+        raise SystemExit(f"sweep: {exc}")
+
+    print(render_sweep_report(out.report))
+    print(f"  -> wrote {out.report_path}", file=sys.stderr)
+    if out.error:
+        print(f"ERROR: {out.error}", file=sys.stderr)
+    return out.exit_code
+
+
 def cmd_predict(args) -> int:
     m = _methodology(args)
     print("characterizing ...", file=sys.stderr)
@@ -901,6 +981,68 @@ def build_parser() -> argparse.ArgumentParser:
                          "one pstats table (default: 5; quick runs are too "
                          "short for a stable top-25 from a single run)")
     pf.set_defaults(func=cmd_perf)
+
+    sw = sub.add_parser(
+        "sweep",
+        help="crash-safe parameter-space sweep: config x workload x "
+             "fault x mode, resumable from its write-ahead result log",
+    )
+    sw.add_argument("rundir", metavar="RUNDIR",
+                    help="run directory (manifest + append-only results + "
+                         "sweep report); resume with --resume RUNDIR")
+    sw.add_argument("--configs", nargs="+",
+                    default=["jbod", "raid1", "raid5"],
+                    help="configuration axis (default: jbod raid1 raid5)")
+    sw.add_argument("--workloads", nargs="+", default=[],
+                    metavar="NAME[:ARGS]",
+                    help="named workload axis items: "
+                         "btio[:CLASS[:NPROCS[:SUBTYPE]]] or "
+                         "madbench[:KPIX[:NPROCS[:FILETYPE]]]")
+    sw.add_argument("--workload-spec", nargs="+", default=[], metavar="SPEC",
+                    help="declarative spec files added to the workload axis "
+                         "(inlined into the plan, so the run directory "
+                         "resumes without them)")
+    sw.add_argument("--fuzz-seeds", nargs="+", type=int, default=[],
+                    metavar="SEED",
+                    help="`repro workload fuzz` seeds added to the "
+                         "workload axis")
+    sw.add_argument("--faults", nargs="+", default=["none"],
+                    metavar="FILE|none",
+                    help="fault axis: 'none' and/or fault-schedule JSON "
+                         "files (default: none)")
+    sw.add_argument("--modes", nargs="+", default=["exact"],
+                    choices=["exact", "analytic"],
+                    help="kernel-mode axis (default: exact)")
+    sw.add_argument("--quick", action="store_true",
+                    help="small characterization sweep per config (CI-sized)")
+    sw.add_argument("--block-step", type=int, default=3,
+                    help="stride through the 32K..16M block sweep (full mode)")
+    sw.add_argument("--ior-gib", type=int, default=2,
+                    help="IOR file size in GiB (full mode)")
+    sw.add_argument("--jobs", type=int, default=None,
+                    help="sweep worker processes (default: 1, or the "
+                         "manifest's value on resume)")
+    sw.add_argument("--timeout", type=float, default=None, metavar="S",
+                    help="per-task wall-clock budget in seconds (default 300)")
+    sw.add_argument("--retries", type=int, default=None, metavar="N",
+                    help="attempts per task before quarantine (default 3)")
+    sw.add_argument("--backoff", type=float, default=None, metavar="S",
+                    help="base retry backoff in seconds (default 0.5)")
+    sw.add_argument("--seed", type=int, default=None,
+                    help="backoff-jitter seed (default 0; results never "
+                         "depend on it)")
+    sw.add_argument("--resume", action="store_true",
+                    help="continue an interrupted run from its WAL")
+    sw.add_argument("--verify", action="store_true",
+                    help="only replay and verify the WAL against the "
+                         "manifest; no execution")
+    sw.add_argument("--retry-quarantined", action="store_true",
+                    help="with --resume: re-attempt quarantined tasks")
+    sw.add_argument("--sanitize", action="store_true",
+                    help="pin the runtime sim-sanitizer on in every task")
+    sw.add_argument("--no-phase-fastpath", action="store_true",
+                    help="pin phase-replay extrapolation off in every task")
+    sw.set_defaults(func=cmd_sweep)
 
     wl = sub.add_parser("workload", help="validate/compile declarative "
                                          "workload spec files")

@@ -422,6 +422,14 @@ class Methodology:
         results = run_tasks(_evaluate_unit, tasks, n_jobs)
         return {name: report for name, report in zip(names, results)}
 
+    def evaluate_single(self, name: str, app: Application, **kw) -> EvaluationReport:
+        """:meth:`evaluate` for exactly one configuration.
+
+        The sweep worker's entry point: one combo in, one report out,
+        with the same keyword surface as :meth:`evaluate`.
+        """
+        return self.evaluate(app, names=[name], **kw)[name]
+
     def recommend(
         self,
         profile: AppProfile,

@@ -85,13 +85,16 @@ def run_tasks(
         return [fn(it) for it in items]
 
     results: dict[int, R] = {}
+    errors: dict[int, Exception] = {}
 
     def attempt(indices: list[int]) -> list[int]:
         """One pool pass over ``indices``; returns the shards that failed.
 
         A worker exception (including a :class:`BrokenProcessPool`
         when the worker process itself died) fails only its shard —
-        completed shards keep their results.
+        completed shards keep their results.  The exception is kept in
+        ``errors`` so the serial fallback can chain the original shard
+        failure if it fails too.
         """
         from concurrent.futures import ProcessPoolExecutor
 
@@ -103,6 +106,7 @@ def run_tasks(
                     results[i] = fut.result()
                 except Exception as exc:
                     log.warning("parallel shard %d failed: %r", i, exc)
+                    errors[i] = exc
                     failed.append(i)
         return failed
 
@@ -127,8 +131,14 @@ def run_tasks(
             pass  # fall through to the serial path below
     if pending:
         # Last resort: recompute the stragglers serially in the
-        # parent, where a genuine error propagates unchanged.
+        # parent.  If the shard fails here too, chain the original
+        # parallel-worker exception as the cause — the pool round
+        # saw the failure first, and its traceback (often a pickled
+        # remote one) is the primary evidence.
         log.warning("serial fallback for %d shard(s)", len(pending))
         for i in pending:
-            results[i] = fn(items[i])
+            try:
+                results[i] = fn(items[i])
+            except Exception as exc:
+                raise exc from errors.get(i)
     return [results[i] for i in range(len(items))]

@@ -95,16 +95,46 @@ class TableCache:
         return tables
 
     def _quarantine(self, entry: Path, reason: Exception) -> Optional[Path]:
-        """Move a corrupt entry aside as ``<name>.corrupt`` and log it."""
+        """Move a corrupt entry aside as ``<name>.corrupt`` and log it.
+
+        Concurrent processes sharing a cache volume can both read the
+        same corrupt entry and race to quarantine it; losing that race
+        must not raise (the caller just recomputes either way):
+
+        * the entry vanished (``FileNotFoundError``) — the peer's
+          rename won; nothing left to move;
+        * the destination name was taken between the ``exists`` probe
+          and the rename (``os.replace`` onto a non-empty directory) —
+          retry under the next numbered name.
+        """
         dest = entry.with_name(entry.name + ".corrupt")
         n = 1
         while dest.exists():
             dest = entry.with_name(f"{entry.name}.corrupt.{n}")
             n += 1
-        try:
-            os.replace(entry, dest)
-        except OSError:  # pragma: no cover - concurrent quarantine
-            return None
+        while True:
+            try:
+                os.replace(entry, dest)
+                break
+            except FileNotFoundError:
+                log.warning(
+                    "corrupt cache entry %s already quarantined by a "
+                    "concurrent process (%r); will recompute",
+                    entry.name,
+                    reason,
+                )
+                return None
+            except OSError:
+                # destination collision: a peer (or an earlier
+                # quarantine) claimed this name first — take the next
+                if n > 1000:  # pragma: no cover - pathological volume
+                    log.warning(
+                        "cannot quarantine corrupt cache entry %s: no free "
+                        ".corrupt name (%r)", entry.name, reason,
+                    )
+                    return None
+                dest = entry.with_name(f"{entry.name}.corrupt.{n}")
+                n += 1
         log.warning(
             "quarantined corrupt cache entry %s -> %s (%r); will recompute",
             entry.name,

@@ -28,7 +28,7 @@ so the same schedule on the same configuration produces a
 byte-identical degraded-mode report.
 """
 
-from .schedule import FAULT_KINDS, FaultSchedule, FaultSpec
+from .schedule import FAULT_KINDS, FaultSchedule, FaultScheduleError, FaultSpec
 from .injector import FaultInjector
 from .report import build_degraded_report
 
@@ -36,6 +36,7 @@ __all__ = [
     "FAULT_KINDS",
     "FaultSpec",
     "FaultSchedule",
+    "FaultScheduleError",
     "FaultInjector",
     "build_degraded_report",
 ]

@@ -14,13 +14,23 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Optional
 
-__all__ = ["FAULT_KINDS", "FaultSpec", "FaultSchedule"]
+__all__ = ["FAULT_KINDS", "FaultScheduleError", "FaultSpec", "FaultSchedule"]
 
 #: supported fault kinds, in documentation order
 FAULT_KINDS = ("disk_fail", "nfs_stall", "link_flap", "latency_spike")
 
 #: kinds that require a positive duration
 _DURATION_KINDS = ("nfs_stall", "link_flap", "latency_spike")
+
+
+class FaultScheduleError(ValueError):
+    """A schedule document failed validation; ``errors`` carries one
+    ``"<where>: <what>"`` entry per problem (same shape as
+    :class:`~repro.workloads.grammar.WorkloadSpecError`)."""
+
+    def __init__(self, errors: "list[str] | str"):
+        self.errors = [errors] if isinstance(errors, str) else list(errors)
+        super().__init__("; ".join(self.errors))
 
 
 @dataclass(frozen=True)
@@ -138,10 +148,42 @@ class FaultSchedule:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultSchedule":
+        """Strict parse: every problem in the document is collected and
+        reported at once via :class:`FaultScheduleError` — unknown keys
+        (top-level or per-entry), bad types, invalid field values —
+        rather than stopping at the first.  Out-of-order entries are
+        not an error; construction sort-normalises them by ``t_s``.
+        """
         if not isinstance(data, dict) or "entries" not in data:
-            raise ValueError("a fault schedule is {'seed': ..., 'entries': [...]}")
-        entries = tuple(FaultSpec.from_dict(e) for e in data["entries"])
-        return cls(entries=entries, seed=int(data.get("seed", 0)))
+            raise FaultScheduleError(
+                "schedule: a fault schedule is {'seed': ..., 'entries': [...]}"
+            )
+        errors: list[str] = []
+        unknown = set(data) - {"seed", "entries"}
+        if unknown:
+            errors.append(f"schedule: unknown keys {sorted(unknown)}")
+        seed = 0
+        raw_seed = data.get("seed", 0)
+        if isinstance(raw_seed, bool) or not isinstance(raw_seed, int):
+            errors.append(f"seed: must be an integer, got {raw_seed!r}")
+        else:
+            seed = raw_seed
+        raw_entries = data["entries"]
+        entries: list[FaultSpec] = []
+        if not isinstance(raw_entries, list):
+            errors.append("entries: must be a list of fault objects")
+        else:
+            for i, e in enumerate(raw_entries):
+                if not isinstance(e, dict):
+                    errors.append(f"entries[{i}]: must be an object, got {e!r}")
+                    continue
+                try:
+                    entries.append(FaultSpec.from_dict(e))
+                except (TypeError, ValueError) as exc:
+                    errors.append(f"entries[{i}]: {exc}")
+        if errors:
+            raise FaultScheduleError(errors)
+        return cls(entries=tuple(entries), seed=seed)
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)

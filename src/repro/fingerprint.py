@@ -22,7 +22,7 @@ import hashlib
 import json
 from typing import Any
 
-__all__ = ["canonicalize", "fingerprint", "workload_fingerprint"]
+__all__ = ["canonicalize", "canonical_json", "fingerprint", "workload_fingerprint"]
 
 
 def canonicalize(obj: Any) -> Any:
@@ -54,11 +54,22 @@ def canonicalize(obj: Any) -> Any:
     return repr(obj)
 
 
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON serialisation of ``obj``.
+
+    One byte sequence per value, forever: keys sorted, separators
+    fixed, objects reduced through :func:`canonicalize` first.  This
+    is the byte stream that both :func:`fingerprint` digests and the
+    sweep write-ahead store CRCs — two processes (or two runs of the
+    same process, days apart) serialising an equal value always
+    produce identical bytes.
+    """
+    return json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
+
+
 def fingerprint(*objs: Any) -> str:
     """A short stable hex digest of the canonical form of ``objs``."""
-    payload = json.dumps(
-        [canonicalize(o) for o in objs], sort_keys=True, separators=(",", ":")
-    )
+    payload = canonical_json(list(objs))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 

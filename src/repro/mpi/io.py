@@ -56,12 +56,21 @@ class IOHints:
 class MPIFile:
     """A rank's handle on an MPI file."""
 
-    def __init__(self, ctx: RankContext, path: str, inode, fs, hints: IOHints):
+    def __init__(
+        self,
+        ctx: RankContext,
+        path: str,
+        inode,
+        fs,
+        hints: IOHints,
+        self_comm: bool = False,
+    ):
         self.ctx = ctx
         self.path = path
         self.inode = inode
         self.fs = fs
         self.hints = hints
+        self.self_comm = self_comm
         self.env = ctx.env
 
     # ------------------------------------------------------------------
@@ -241,7 +250,11 @@ class MPIFile:
         return self._collective(IORequest("read", offset, nbytes, count, stride))
 
     def _collective(self, req: IORequest) -> Event:
-        if not self.hints.collective:
+        # A COMM_SELF file's collectives are collective over exactly one
+        # rank: two-phase buffering degenerates to an independent access
+        # (rendezvousing on the world here would deadlock — per-rank
+        # paths never gather all ranks at one call site).
+        if not self.hints.collective or self.self_comm:
             return self._independent(req)
 
         def _op():
@@ -306,6 +319,8 @@ class MPIFile:
 
     def close(self) -> Event:
         """Collective close: flush once, then everyone drops the handle."""
+        if self.self_comm:
+            return self.close_self()
 
         def _op():
             world = self.ctx.world
@@ -685,6 +700,6 @@ def open_self(ctx: RankContext, path: str, mode: str = "r") -> Event:
             inode = yield fs.create(path)
         else:
             inode = yield fs.open(path)
-        return MPIFile(ctx, path, inode, fs, hints)
+        return MPIFile(ctx, path, inode, fs, hints, self_comm=True)
 
     return ctx.env.process(_op(), name=f"mpiio.r{ctx.rank}.open_self")

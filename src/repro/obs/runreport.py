@@ -22,12 +22,31 @@ from ..units import fmt_bytes
 
 __all__ = [
     "REPORT_SCHEMA",
+    "summarize_run",
     "build_run_report",
     "report_to_csv",
     "render_run_report",
 ]
 
 REPORT_SCHEMA = "repro.run-report/1"
+
+
+def summarize_run(r) -> dict:
+    """The deterministic run scalars of one EvaluationReport.
+
+    Simulated-time quantities only — no ``wall_s``, no host state — so
+    the dict is a pure function of (configuration, workload, faults)
+    and safe to byte-compare across runs and machines.  The sweep
+    result store is built on exactly this property.
+    """
+    return {
+        "execution_time_s": r.execution_time_s,
+        "io_time_s": r.io_time_s,
+        "io_fraction": r.io_fraction,
+        "bytes_read": r.bytes_read,
+        "bytes_written": r.bytes_written,
+        "throughput_Bps": r.throughput_Bps,
+    }
 
 
 def _utilization_dict(u) -> dict:
@@ -68,15 +87,7 @@ def build_run_report(app_name: str, reports: dict, meta: Optional[dict] = None) 
         verdict = {"write": r.write_bottleneck(), "read": r.read_bottleneck()}
         verdicts[name] = verdict
         entry = {
-            "run": {
-                "execution_time_s": r.execution_time_s,
-                "io_time_s": r.io_time_s,
-                "io_fraction": r.io_fraction,
-                "bytes_read": r.bytes_read,
-                "bytes_written": r.bytes_written,
-                "throughput_Bps": r.throughput_Bps,
-                "wall_s": r.wall_s,
-            },
+            "run": {**summarize_run(r), "wall_s": r.wall_s},
             "verdicts": verdict,
         }
         if r.metrics is not None:

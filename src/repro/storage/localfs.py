@@ -431,6 +431,10 @@ class LocalFS:
         self.stats.reads += req.count
         self.stats.bytes_read += total
 
+        if req.offset >= inode.size:
+            # read at/past EOF (e.g. a never-written file): POSIX
+            # returns short/zero without touching the device
+            return total
         if self.cache.file_fully_resident(inode.fileid, max(inode.size, 1)):
             span = min(req.span, max(inode.size - req.offset, 0))
             self.cache.touch_run(inode.fileid, self.cache.segments_of(req.offset, span))
@@ -833,6 +837,10 @@ class _LocalRead(FlatOp):
         fs.stats.reads += req.count
         fs.stats.bytes_read += self.total
 
+        if req.offset >= inode.size:
+            # read at/past EOF: POSIX short/zero read, no device work
+            self._finish(self.total)
+            return
         if fs.cache.file_fully_resident(inode.fileid, max(inode.size, 1)):
             span = min(req.span, max(inode.size - req.offset, 0))
             fs.cache.touch_run(inode.fileid, fs.cache.segments_of(req.offset, span))

@@ -1,0 +1,284 @@
+"""Append-only, CRC-framed JSONL result store — the sweep's WAL.
+
+A fleet-scale sweep is only as good as its ability to survive its own
+orchestrator: an O(10^3) run that loses everything to a SIGKILL at 90%
+never gets rerun.  Every completed task therefore lands in an
+append-only write-ahead file *before* the orchestrator acknowledges
+it, framed so that any prefix of the file is a valid store:
+
+``results.jsonl`` / ``quarantine.jsonl``
+    One record per line: ``{"crc": "<8 hex>", "payload": {...}}``.
+    The CRC is ``zlib.crc32`` over the *canonical JSON* bytes of the
+    payload (:func:`repro.fingerprint.canonical_json`), so a record's
+    frame is a pure function of its content — two runs producing the
+    same payload write identical lines.  Appends are flushed and
+    ``fsync``'d per record (the WAL property; ``fsync=False`` exists
+    for tests), so a record either survives whole or was never
+    acknowledged.
+
+``manifest.json``
+    The run's plan (every task payload plus its fingerprint) and the
+    runner parameters, written atomically via temp file +
+    ``os.replace``.  Resume needs nothing but the run directory.
+
+Recovery on open mirrors a database WAL replay:
+
+* a **torn tail** — the final line missing its newline, or failing to
+  parse/CRC-check — is the signature of a crash mid-append; the file
+  is truncated back to the last durable record and the lost
+  fingerprint simply gets recomputed;
+* a **corrupt interior record** (bit rot, hand editing) cannot be
+  truncated away without losing good records after it, so it is
+  dropped from the loaded view, counted, and its fingerprint
+  recomputed — the re-appended record is byte-identical to what the
+  corrupt line should have been;
+* **duplicate fingerprints** keep the *first* durable record (later
+  appends of the same fingerprint are byte-identical by construction;
+  a mismatch is a determinism violation the verifier reports).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Optional
+
+from ..fingerprint import canonical_json
+
+__all__ = [
+    "RECORD_SCHEMA",
+    "QUARANTINE_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "StoreError",
+    "ResultStore",
+    "record_line",
+    "parse_record",
+]
+
+log = logging.getLogger(__name__)
+
+RECORD_SCHEMA = "repro.sweep-record/1"
+QUARANTINE_SCHEMA = "repro.sweep-quarantine/1"
+MANIFEST_SCHEMA = "repro.sweep-manifest/1"
+
+
+class StoreError(Exception):
+    """The run directory is unusable (not a sweep run, bad manifest)."""
+
+
+def _crc(payload: Any) -> str:
+    return f"{zlib.crc32(canonical_json(payload).encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def record_line(payload: Any) -> str:
+    """The exact line (with newline) a payload is stored as."""
+    return json.dumps(
+        {"crc": _crc(payload), "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    ) + "\n"
+
+
+def parse_record(line: bytes) -> Optional[dict]:
+    """Decode one stored line; ``None`` if it fails to parse or CRC."""
+    try:
+        rec = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(rec, dict) or "payload" not in rec:
+        return None
+    if rec.get("crc") != _crc(rec["payload"]):
+        return None
+    payload = rec["payload"]
+    return payload if isinstance(payload, dict) else None
+
+
+def _recover(path: Path) -> tuple[list[dict], int, int]:
+    """Replay one WAL file: ``(payloads, truncated_bytes, corrupt)``.
+
+    Truncates the file in place when the tail is torn (partial final
+    line, or a final line that fails parse/CRC — both are what a crash
+    mid-append leaves behind).  Interior corruption is dropped from
+    the returned payloads and counted, never truncated.
+    """
+    if not path.exists():
+        return [], 0, 0
+    raw = path.read_bytes()
+    payloads: list[dict] = []
+    corrupt = 0
+    durable_end = 0  # byte offset just past the last good record
+    pos = 0
+    bad_tail: list[tuple[int, bytes]] = []  # (start_offset, line) runs of bad lines
+    while pos < len(raw):
+        nl = raw.find(b"\n", pos)
+        if nl == -1:
+            break  # no newline: torn tail from here
+        line = raw[pos : nl + 1]
+        if line.strip():
+            payload = parse_record(line)
+            if payload is None:
+                bad_tail.append((pos, line))
+            else:
+                # bad lines *before* a good one are interior corruption
+                corrupt += len(bad_tail)
+                bad_tail = []
+                payloads.append(payload)
+                durable_end = nl + 1
+        pos = nl + 1
+    # anything after the last good record — bad complete lines and/or
+    # a newline-less fragment — is the torn tail
+    truncated = len(raw) - durable_end
+    if truncated:
+        with path.open("r+b") as fh:
+            fh.truncate(durable_end)
+            fh.flush()
+            os.fsync(fh.fileno())
+        log.warning(
+            "%s: truncated %d torn byte(s) after the last durable record",
+            path.name,
+            truncated,
+        )
+    if corrupt:
+        log.warning(
+            "%s: dropped %d corrupt interior record(s); their fingerprints "
+            "will be recomputed",
+            path.name,
+            corrupt,
+        )
+    return payloads, truncated, corrupt
+
+
+class ResultStore:
+    """The per-run WAL pair (results + quarantine) and manifest."""
+
+    RESULTS = "results.jsonl"
+    QUARANTINE = "quarantine.jsonl"
+    MANIFEST = "manifest.json"
+
+    def __init__(self, rundir: "Path | str", fsync: bool = True):
+        self.rundir = Path(rundir)
+        self.rundir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        #: fingerprint -> result payload (first durable record wins)
+        self.results: dict[str, dict] = {}
+        #: fingerprint -> quarantine payload
+        self.quarantine: dict[str, dict] = {}
+        #: fingerprints whose later duplicate records differed from the
+        #: first — a determinism violation surfaced by the verifier
+        self.duplicate_mismatches: list[str] = []
+        self.recovery = {"truncated_bytes": 0, "corrupt_records": 0}
+        self._load(self.results_path, self.results)
+        self._load(self.quarantine_path, self.quarantine)
+        self._handles: dict[Path, Any] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def results_path(self) -> Path:
+        return self.rundir / self.RESULTS
+
+    @property
+    def quarantine_path(self) -> Path:
+        return self.rundir / self.QUARANTINE
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.rundir / self.MANIFEST
+
+    def _load(self, path: Path, into: dict[str, dict]) -> None:
+        payloads, truncated, corrupt = _recover(path)
+        self.recovery["truncated_bytes"] += truncated
+        self.recovery["corrupt_records"] += corrupt
+        for payload in payloads:
+            fp = payload.get("fp")
+            if not isinstance(fp, str):
+                self.recovery["corrupt_records"] += 1
+                continue
+            if fp in into:
+                if canonical_json(into[fp]) != canonical_json(payload):
+                    self.duplicate_mismatches.append(fp)
+                continue
+            into[fp] = payload
+
+    # ------------------------------------------------------------------
+    def _append(self, path: Path, payload: dict) -> None:
+        fh = self._handles.get(path)
+        if fh is None:
+            fh = path.open("ab")
+            self._handles[path] = fh
+        fh.write(record_line(payload).encode("utf-8"))
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+
+    def append_result(self, payload: dict) -> None:
+        """Durably record one completed task (idempotent per fp)."""
+        fp = payload["fp"]
+        if fp in self.results:
+            if canonical_json(self.results[fp]) != canonical_json(payload):
+                self.duplicate_mismatches.append(fp)
+            return
+        self._append(self.results_path, payload)
+        self.results[fp] = payload
+
+    def append_quarantine(self, payload: dict) -> None:
+        """Durably record one poisoned task."""
+        fp = payload["fp"]
+        if fp in self.quarantine:
+            return
+        self._append(self.quarantine_path, payload)
+        self.quarantine[fp] = payload
+
+    def close(self) -> None:
+        for fh in self._handles.values():
+            fh.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def write_manifest(self, manifest: dict) -> None:
+        """Atomically publish the run manifest (temp file + rename)."""
+        text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        tmp = self.manifest_path.with_name(f".{self.MANIFEST}.{os.getpid()}.tmp")
+        with tmp.open("w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.manifest_path)
+
+    def read_manifest(self) -> dict:
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except FileNotFoundError:
+            raise StoreError(f"{self.rundir} has no {self.MANIFEST}; not a sweep run")
+        except ValueError as exc:
+            raise StoreError(f"unreadable {self.manifest_path}: {exc}")
+        if not isinstance(manifest, dict) or manifest.get("schema") != MANIFEST_SCHEMA:
+            raise StoreError(
+                f"{self.manifest_path} is not a {MANIFEST_SCHEMA} document"
+            )
+        return manifest
+
+    def has_manifest(self) -> bool:
+        return self.manifest_path.exists()
+
+    # ------------------------------------------------------------------
+    def missing(self, plan_fps: "list[str]", retry_quarantined: bool = False) -> list[str]:
+        """Plan fingerprints with no durable outcome yet, in plan order."""
+        done = set(self.results)
+        if not retry_quarantined:
+            done |= set(self.quarantine)
+        return [fp for fp in plan_fps if fp not in done]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<ResultStore {str(self.rundir)!r} results={len(self.results)} "
+            f"quarantine={len(self.quarantine)}>"
+        )

@@ -282,3 +282,82 @@ def test_run_report_carries_faults_section(meth):
     assert doc["configs"]["raid5"]["faults"]["verdict"] in (
         "graceful", "degraded", "data-loss"
     )
+
+
+# ----------------------------------------------------------------------
+# strict schedule parsing: collected errors (FaultScheduleError)
+# ----------------------------------------------------------------------
+class TestStrictScheduleParsing:
+    def test_unknown_top_level_keys_rejected(self):
+        from repro.faults import FaultScheduleError
+
+        with pytest.raises(FaultScheduleError) as excinfo:
+            FaultSchedule.from_dict(
+                {"seed": 1, "entries": [], "jitter": 0.1, "comment": "hi"}
+            )
+        (err,) = excinfo.value.errors
+        assert err == "schedule: unknown keys ['comment', 'jitter']"
+
+    def test_all_errors_collected_not_just_first(self):
+        """Multi-error style matches WorkloadSpecError: one pass reports
+        every problem, each prefixed with where it lives."""
+        from repro.faults import FaultScheduleError
+
+        doc = {
+            "seed": "zero",
+            "entries": [
+                {"t_s": 0.1, "kind": "warp_core_breach"},
+                {"t_s": -1.0, "kind": "disk_fail"},
+                "not-an-object",
+                {"t_s": 0.2, "kind": "nfs_stall", "duration_s": 1.0, "blast": 9},
+            ],
+            "surprise": True,
+        }
+        with pytest.raises(FaultScheduleError) as excinfo:
+            FaultSchedule.from_dict(doc)
+        errors = excinfo.value.errors
+        assert len(errors) == 6
+        assert any(e.startswith("schedule: unknown keys") for e in errors)
+        assert any(e.startswith("seed:") for e in errors)
+        assert any(e.startswith("entries[0]:") and "warp_core_breach" in e for e in errors)
+        assert any(e.startswith("entries[1]:") for e in errors)
+        assert any(e.startswith("entries[2]:") for e in errors)
+        assert any(e.startswith("entries[3]:") and "blast" in e for e in errors)
+        # and the exception message joins them all
+        assert str(excinfo.value).count(";") == 5
+
+    def test_faultscheduleerror_is_a_valueerror(self):
+        from repro.faults import FaultScheduleError
+
+        assert issubclass(FaultScheduleError, ValueError)
+        with pytest.raises(ValueError):
+            FaultSchedule.from_dict({"entries": [{"kind": "nope", "t_s": 0}]})
+
+    def test_out_of_order_windows_normalise_and_round_trip(self):
+        """Out-of-order entries are not an error: construction sorts by
+        injection time, and the JSON round trip is a fixed point."""
+        doc = {
+            "seed": 5,
+            "entries": [
+                {"t_s": 9.0, "kind": "latency_spike", "duration_s": 1.0, "factor": 2.0},
+                {"t_s": 1.0, "kind": "disk_fail"},
+                {"t_s": 4.0, "kind": "nfs_stall", "duration_s": 0.5},
+            ],
+        }
+        sched = FaultSchedule.from_dict(doc)
+        assert [e.t_s for e in sched] == [1.0, 4.0, 9.0]
+        again = FaultSchedule.from_json(sched.to_json())
+        assert again == sched
+        assert again.to_json() == sched.to_json()
+
+    def test_bool_seed_rejected(self):
+        from repro.faults import FaultScheduleError
+
+        with pytest.raises(FaultScheduleError, match="seed"):
+            FaultSchedule.from_dict({"seed": True, "entries": []})
+
+    def test_non_list_entries_rejected(self):
+        from repro.faults import FaultScheduleError
+
+        with pytest.raises(FaultScheduleError, match="entries"):
+            FaultSchedule.from_dict({"entries": {"t_s": 0, "kind": "disk_fail"}})

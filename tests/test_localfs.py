@@ -217,3 +217,36 @@ class TestAllocation:
         inode = env.run(fs.create("/f"))
         with pytest.raises(ValueError):
             fs.submit_serialized_write(inode, IORequest("read", 0, 2 * KiB), 1e-3)
+
+
+class TestEOFReads:
+    def test_read_of_empty_file_is_short_and_free(self):
+        """A read at offset 0 of a never-written file is a POSIX
+        zero-byte short read: no extents exist, and the device must
+        not be consulted (regression: this used to raise KeyError
+        from Inode.device_offset)."""
+        env, fs = make_fs()
+        inode = env.run(fs.create("/empty"))
+        t0 = env.now
+        env.run(fs.submit(inode, IORequest("read", 0, 1 * MiB)))
+        assert fs.array.stats.bytes_read == 0
+        # only CPU/metadata time elapsed, no media transfer
+        assert env.now - t0 < 1e-3
+
+    def test_read_past_eof_is_short_and_free(self):
+        env, fs = make_fs()
+        inode = env.run(fs.create("/f"))
+        env.run(fs.submit(inode, IORequest("write", 0, 64 * KiB)))
+        env.run(fs.sync())
+        before = fs.array.stats.bytes_read
+        env.run(fs.submit(inode, IORequest("read", 10 * MiB, 1 * MiB)))
+        assert fs.array.stats.bytes_read == before
+
+    def test_read_within_file_still_reads_device(self):
+        env, fs = make_fs(ram=8 * MiB)
+        inode = env.run(fs.create("/g"))
+        env.run(fs.submit(inode, IORequest("write", 0, 4 * MiB)))
+        env.run(fs.sync())
+        fs.cache.drop_file(inode.fileid)
+        env.run(fs.submit(inode, IORequest("read", 0, 1 * MiB)))
+        assert fs.array.stats.bytes_read > 0

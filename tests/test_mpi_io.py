@@ -216,3 +216,42 @@ class TestTracing:
         assert ev.stride == 128 * KiB
         assert ev.duration > 0
         assert ev.path == "/nfs/t.dat"
+
+
+class TestCommSelfCollectives:
+    def test_collective_on_self_file_degenerates_to_independent(self):
+        """Collectives on a COMM_SELF file are collective over exactly
+        one rank — they must complete without rendezvousing on the
+        world (per-rank paths never gather all ranks, so a world
+        rendezvous would deadlock the calendar)."""
+        system, w = make_world(4)
+
+        def prog(mpi):
+            f = yield mpi.file_open_self(f"/nfs/self{mpi.rank}.dat", "w")
+            yield f.write_at_all(0, 256 * KiB)
+            yield f.read_at_all(0, 128 * KiB)
+            yield f.close()  # plain close on a self file must not hang either
+
+        system.env.run(w.run_program(prog))
+        for r in range(4):
+            assert system.export.exists(f"/nfs/self{r}.dat")
+
+    def test_self_file_matches_explicit_independent_io(self):
+        """The degenerate collective takes exactly the independent
+        path: simulated times are identical."""
+
+        def run(use_collective):
+            system, w = make_world(2)
+
+            def prog(mpi):
+                f = yield mpi.file_open_self(f"/nfs/x{mpi.rank}.dat", "w")
+                if use_collective:
+                    yield f.write_at_all(0, 512 * KiB)
+                else:
+                    yield f.write_at(0, 512 * KiB)
+                yield f.close_self()
+
+            system.env.run(w.run_program(prog))
+            return system.env.now
+
+        assert run(True) == run(False)

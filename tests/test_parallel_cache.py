@@ -369,3 +369,92 @@ def test_cache_quarantine_numbers_duplicate_destinations(tmp_path):
         assert cache.load(key, "jbod", m.levels) is None
     corrupt = [p.name for p in tmp_path.iterdir() if ".corrupt" in p.name]
     assert len(corrupt) == 2
+
+
+def test_cache_quarantine_race_entry_already_moved(tmp_path, caplog):
+    """A peer process that quarantined the same corrupt entry first must
+    not make the loser raise — the rename finds nothing and the caller
+    just recomputes."""
+    import logging
+
+    cache = TableCache(tmp_path)
+    m = small_methodology()
+    m.characterize(cache=cache)
+    key = m.cache_key("jbod", cache)
+    entry = cache.entry_dir(key)
+    bad = entry / "jbod_localfs.csv"
+    bad.write_text("op,block_bytes,access,mode,rate_Bps\nread,x,global,buffered,1\n")
+    corrupt_text = bad.read_text()
+
+    import os
+
+    orig_replace = os.replace
+
+    def racing_replace(src, dst):
+        # The peer wins the race between our corruption check and rename.
+        if str(src) == str(entry):
+            orig_replace(entry, entry.with_name(entry.name + ".corrupt"))
+        return orig_replace(src, dst)
+
+    with caplog.at_level(logging.WARNING, logger="repro.core.tablecache"):
+        import repro.core.tablecache as tc
+
+        saved = tc.os.replace
+        tc.os.replace = racing_replace
+        try:
+            assert cache.load(key, "jbod", m.levels) is None
+        finally:
+            tc.os.replace = saved
+    assert "already quarantined" in caplog.text
+    # exactly one quarantined copy exists — the peer's
+    moved = [p for p in tmp_path.iterdir() if ".corrupt" in p.name]
+    assert len(moved) == 1
+    assert (moved[0] / "jbod_localfs.csv").read_text() == corrupt_text
+
+
+def test_cache_quarantine_race_destination_taken(tmp_path, monkeypatch):
+    """If a peer claims the chosen ``.corrupt`` name between the exists
+    probe and the rename, quarantine retries the next numbered name."""
+    cache = TableCache(tmp_path)
+    m = small_methodology()
+    m.characterize(cache=cache)
+    key = m.cache_key("jbod", cache)
+    entry = cache.entry_dir(key)
+    (entry / "jbod_localfs.csv").write_text(
+        "op,block_bytes,access,mode,rate_Bps\nread,x,global,buffered,1\n"
+    )
+
+    import os
+
+    orig_replace = os.replace
+    collided = []
+
+    def colliding_replace(src, dst):
+        if str(src) == str(entry) and not collided:
+            collided.append(dst)
+            raise OSError(39, "Directory not empty", str(dst))
+        return orig_replace(src, dst)
+
+    import repro.core.tablecache as tc
+
+    monkeypatch.setattr(tc.os, "replace", colliding_replace)
+    assert cache.load(key, "jbod", m.levels) is None
+    assert collided, "injected collision never hit"
+    # the entry still got quarantined, under the next numbered name
+    moved = [p.name for p in tmp_path.iterdir() if ".corrupt" in p.name]
+    assert moved == [f"{key}.corrupt.1"]
+
+
+def test_serial_fallback_chains_original_shard_traceback(monkeypatch):
+    """When the serial fallback fails too, the original parallel-shard
+    exception must ride along as ``__cause__``."""
+    import repro.core.parallel as par
+
+    monkeypatch.setattr(par, "RETRY_BACKOFF_S", 0.01)
+    with pytest.raises(RuntimeError, match="genuine failure") as excinfo:
+        run_tasks(_always_boom, [1, 2], n_jobs=2)
+    cause = excinfo.value.__cause__
+    assert isinstance(cause, RuntimeError)
+    assert "genuine failure" in str(cause)
+    # and the chained copy is the *pool's* instance, not the serial one
+    assert cause is not excinfo.value

@@ -1,0 +1,198 @@
+"""The sweep WAL: CRC framing, torn-tail recovery, manifest atomicity.
+
+The acceptance bar is the WAL property — any prefix of the file is a
+valid store, so an orchestrator SIGKILL'd mid-append loses at most the
+unacknowledged record.  The hypothesis property test cuts the file at
+*every possible byte boundary* of the final record and demands that
+recovery + re-append reproduce the uninterrupted file byte-for-byte.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fingerprint import canonical_json
+from repro.sweep.store import (
+    MANIFEST_SCHEMA,
+    ResultStore,
+    StoreError,
+    parse_record,
+    record_line,
+)
+
+
+def payload(i: int, **extra) -> dict:
+    return {"fp": f"fp{i:04d}", "task": {"n": i}, "result": {"t": i * 0.5}, **extra}
+
+
+# ----------------------------------------------------------------------
+# record framing
+# ----------------------------------------------------------------------
+def test_record_line_is_canonical_and_parses_back():
+    line = record_line(payload(1))
+    assert line.endswith("\n")
+    assert parse_record(line.encode()) == payload(1)
+    # same payload, different dict insertion order -> identical line
+    p = {"result": {"t": 0.5}, "task": {"n": 1}, "fp": "fp0001"}
+    assert record_line(p) == line
+
+
+def test_parse_record_rejects_bad_crc_and_garbage():
+    line = record_line(payload(1))
+    rec = json.loads(line)
+    rec["payload"]["result"]["t"] = 99.0  # flip content, keep old crc
+    tampered = json.dumps(rec).encode()
+    assert parse_record(tampered) is None
+    assert parse_record(b"not json\n") is None
+    assert parse_record(b'{"crc": "00000000"}\n') is None
+    assert parse_record(b'{"crc": "deadbeef", "payload": 3}\n') is None
+
+
+# ----------------------------------------------------------------------
+# round trips and idempotence
+# ----------------------------------------------------------------------
+def test_store_round_trip(tmp_path):
+    with ResultStore(tmp_path, fsync=False) as s:
+        for i in range(5):
+            s.append_result(payload(i))
+        s.append_quarantine({"fp": "fp9999", "attempts": 3, "failures": ["boom"]})
+    again = ResultStore(tmp_path, fsync=False)
+    assert set(again.results) == {f"fp{i:04d}" for i in range(5)}
+    assert again.results["fp0002"] == payload(2)
+    assert again.quarantine["fp9999"]["attempts"] == 3
+    assert again.recovery == {"truncated_bytes": 0, "corrupt_records": 0}
+    assert again.duplicate_mismatches == []
+
+
+def test_append_is_idempotent_per_fingerprint(tmp_path):
+    s = ResultStore(tmp_path, fsync=False)
+    s.append_result(payload(1))
+    s.append_result(payload(1))  # identical duplicate: no second line
+    assert s.results_path.read_text() == record_line(payload(1))
+    assert s.duplicate_mismatches == []
+
+
+def test_duplicate_mismatch_is_flagged_not_overwritten(tmp_path):
+    s = ResultStore(tmp_path, fsync=False)
+    s.append_result(payload(1))
+    differing = payload(1)
+    differing["result"]["t"] = -1.0
+    s.append_result(differing)
+    assert s.duplicate_mismatches == ["fp0001"]
+    assert s.results["fp0001"] == payload(1)  # first durable record wins
+
+
+def test_first_record_wins_across_reopen(tmp_path):
+    p2 = payload(1)
+    p2["result"]["t"] = 42.0
+    (tmp_path / "results.jsonl").write_text(record_line(payload(1)) + record_line(p2))
+    s = ResultStore(tmp_path, fsync=False)
+    assert s.results["fp0001"] == payload(1)
+    assert s.duplicate_mismatches == ["fp0001"]
+
+
+# ----------------------------------------------------------------------
+# recovery: torn tails and interior corruption
+# ----------------------------------------------------------------------
+def test_torn_tail_truncated_on_open(tmp_path):
+    full = record_line(payload(0)) + record_line(payload(1))
+    torn = full[: len(full) - 7]  # cut inside the final record
+    (tmp_path / "results.jsonl").write_text(torn)
+    s = ResultStore(tmp_path, fsync=False)
+    assert set(s.results) == {"fp0000"}
+    assert s.recovery["truncated_bytes"] == len(torn) - len(record_line(payload(0)))
+    # the file itself was truncated back to the durable prefix
+    assert (tmp_path / "results.jsonl").read_text() == record_line(payload(0))
+
+
+def test_bad_complete_final_line_is_a_torn_tail(tmp_path):
+    text = record_line(payload(0)) + '{"crc": "00000000", "payload": {"fp": "x"}}\n'
+    (tmp_path / "results.jsonl").write_text(text)
+    s = ResultStore(tmp_path, fsync=False)
+    assert set(s.results) == {"fp0000"}
+    assert s.recovery["truncated_bytes"] > 0
+    assert (tmp_path / "results.jsonl").read_text() == record_line(payload(0))
+
+
+def test_interior_corruption_dropped_not_truncated(tmp_path):
+    lines = [record_line(payload(0)), "CORRUPTED LINE\n", record_line(payload(2))]
+    (tmp_path / "results.jsonl").write_text("".join(lines))
+    s = ResultStore(tmp_path, fsync=False)
+    assert set(s.results) == {"fp0000", "fp0002"}
+    assert s.recovery["corrupt_records"] == 1
+    assert s.recovery["truncated_bytes"] == 0
+    # good records after the corruption survive on disk
+    assert record_line(payload(2)) in (tmp_path / "results.jsonl").read_text()
+
+
+def test_payload_without_fingerprint_counts_as_corrupt(tmp_path):
+    (tmp_path / "results.jsonl").write_text(record_line({"task": {"n": 1}}))
+    s = ResultStore(tmp_path, fsync=False)
+    assert s.results == {}
+    assert s.recovery["corrupt_records"] == 1
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(0, 400), st.integers(2, 5))
+def test_property_cut_anywhere_recovers_to_identical_file(tmp_path_factory, cut, n):
+    """Kill-at-any-byte: cutting the WAL anywhere inside its final
+    record, reopening (recovery truncates the torn tail), and
+    re-appending the lost record yields a file byte-identical to the
+    uninterrupted one."""
+    tmp_path = tmp_path_factory.mktemp("wal")
+    records = [payload(i) for i in range(n)]
+    full = "".join(record_line(p) for p in records).encode()
+    prefix_len = len(full) - len(record_line(records[-1]).encode())
+    # cut somewhere in [prefix_len, len(full)) — inside the final record
+    cut_at = prefix_len + cut % (len(full) - prefix_len)
+    (tmp_path / "results.jsonl").write_bytes(full[:cut_at])
+
+    s = ResultStore(tmp_path, fsync=False)
+    assert set(s.results) == {p["fp"] for p in records[:-1]}
+    for p in records:  # orchestrator recomputes whatever is missing
+        s.append_result(p)
+    s.close()
+    assert (tmp_path / "results.jsonl").read_bytes() == full
+
+
+# ----------------------------------------------------------------------
+# manifest
+# ----------------------------------------------------------------------
+def test_manifest_round_trip_and_atomicity(tmp_path):
+    s = ResultStore(tmp_path, fsync=False)
+    manifest = {"schema": MANIFEST_SCHEMA, "params": {"seed": 3}, "tasks": []}
+    s.write_manifest(manifest)
+    assert s.read_manifest() == manifest
+    # no temp file left behind
+    assert [p.name for p in tmp_path.iterdir() if p.name.endswith(".tmp")] == []
+
+
+def test_read_manifest_errors(tmp_path):
+    s = ResultStore(tmp_path, fsync=False)
+    with pytest.raises(StoreError, match="no manifest"):
+        s.read_manifest()
+    s.manifest_path.write_text("{broken")
+    with pytest.raises(StoreError, match="unreadable"):
+        s.read_manifest()
+    s.manifest_path.write_text(json.dumps({"schema": "other/1"}))
+    with pytest.raises(StoreError, match="not a"):
+        s.read_manifest()
+
+
+# ----------------------------------------------------------------------
+# missing / resume bookkeeping
+# ----------------------------------------------------------------------
+def test_missing_respects_quarantine_flag(tmp_path):
+    s = ResultStore(tmp_path, fsync=False)
+    s.append_result(payload(0))
+    s.append_quarantine({"fp": "fp0001", "attempts": 3, "failures": []})
+    plan = ["fp0000", "fp0001", "fp0002"]
+    assert s.missing(plan) == ["fp0002"]
+    assert s.missing(plan, retry_quarantined=True) == ["fp0001", "fp0002"]
+
+
+def test_canonical_json_is_order_insensitive():
+    assert canonical_json({"b": 1, "a": [2, {"y": 0, "x": 1}]}) == canonical_json(
+        {"a": [2, {"x": 1, "y": 0}], "b": 1}
+    )
